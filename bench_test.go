@@ -1,0 +1,349 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (§VI). DESIGN.md §4 maps each figure to
+// its benchmark. Two kinds of benchmarks appear here:
+//
+//   - ART benchmarks (Figs. 6a, 7a, 8a/b, 9a/b) measure one scheduling
+//     trial on a prepared vehicle state with k active requests — exactly
+//     the quantity those figures plot;
+//   - ACRT benchmarks (Table I/II, Figs. 6b/c, 7b/c, 9c, occupancy) replay
+//     a full miniature simulation, measuring end-to-end request matching.
+//
+// Run with: go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/sp"
+)
+
+// benchWorld is a small city shared by all benchmarks (static after init).
+type benchWorld struct {
+	g      *roadnet.Graph
+	oracle sp.Oracle
+	reqs   []sim.Request
+}
+
+var worldCache = map[int64]*benchWorld{}
+
+func getWorld(b *testing.B, seed int64) *benchWorld {
+	b.Helper()
+	if w, ok := worldCache[seed]; ok {
+		return w
+	}
+	world, err := exp.BuildWorld(exp.WorldOptions{Scale: 0.004, Trips: 150, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &benchWorld{
+		g:      world.Graph,
+		oracle: cache.New(sp.NewBidirectional(world.Graph), world.Graph.N(), 1<<20, 1<<12),
+		reqs:   world.Requests,
+	}
+	worldCache[seed] = w
+	return w
+}
+
+// scenario is a prepared vehicle state plus a new request to trial-insert.
+type scenario struct {
+	tree  *core.Tree     // fresh clone source is impossible; tree scenarios trial and discard
+	inst  *core.Instance // for stateless schedulers (includes the new trip last)
+	trial core.TripState
+}
+
+// makeScenarios builds vehicle states carrying k active trips under the
+// given constraints, paired with a new nearby request.
+func makeScenarios(b *testing.B, w *benchWorld, count, k, capacity int, waitMin, eps float64, treeOpts core.TreeOptions) []scenario {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(k)*1000 + 7))
+	waitMeters := waitMin * 60 * roadnet.Speed
+	n := int32(w.g.N())
+	var out []scenario
+	for attempts := 0; len(out) < count && attempts < count*200; attempts++ {
+		origin := roadnet.VertexID(rng.Int31n(n))
+		opts := treeOpts
+		opts.Capacity = capacity
+		tree := core.NewTree(w.oracle, origin, 0, opts)
+		var trips []core.TripState
+		ok := true
+		for len(trips) < k {
+			s := roadnet.VertexID(rng.Int31n(n))
+			e := roadnet.VertexID(rng.Int31n(n))
+			if s == e {
+				continue
+			}
+			ts, err := core.NewTripState(int64(len(trips)), s, e, waitMeters, eps, tree.Odo(), w.oracle)
+			if err != nil {
+				continue
+			}
+			cand, accepted, err := tree.TrialInsert(ts)
+			if err != nil || !accepted {
+				// This state can't grow to k trips; give up on it.
+				if len(trips) == 0 {
+					ok = false
+					break
+				}
+				continue
+			}
+			tree.Commit(cand)
+			trips = append(trips, ts)
+			if len(trips) == k {
+				break
+			}
+		}
+		if !ok || len(trips) < k {
+			continue
+		}
+		// The new request to trial.
+		var trial core.TripState
+		for {
+			s := roadnet.VertexID(rng.Int31n(n))
+			e := roadnet.VertexID(rng.Int31n(n))
+			if s == e {
+				continue
+			}
+			ts, err := core.NewTripState(int64(k), s, e, waitMeters, eps, tree.Odo(), w.oracle)
+			if err != nil {
+				continue
+			}
+			trial = ts
+			break
+		}
+		inst := &core.Instance{Origin: origin, Odo: 0, Capacity: capacity}
+		inst.Trips = append(inst.Trips, trips...)
+		inst.Trips = append(inst.Trips, trial)
+		out = append(out, scenario{tree: tree, inst: inst, trial: trial})
+	}
+	if len(out) == 0 {
+		b.Fatalf("could not build any scenario with k=%d", k)
+	}
+	return out
+}
+
+// benchART measures one scheduling trial per iteration.
+func benchART(b *testing.B, w *benchWorld, algo string, scens []scenario) {
+	var sched core.Scheduler
+	switch algo {
+	case "bruteforce":
+		sched = core.NewBruteForce(w.oracle)
+	case "branchbound":
+		sched = core.NewBranchBound(w.oracle)
+	case "mip":
+		m := core.NewMIPScheduler(w.oracle, 20000)
+		m.SetTimeBudget(50 * time.Millisecond) // as in the simulator
+		sched = m
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := scens[i%len(scens)]
+		if sched != nil {
+			res := sched.Schedule(sc.inst)
+			_ = res
+		} else {
+			cand, ok, err := sc.tree.TrialInsert(sc.trial)
+			_ = cand
+			_ = ok
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// artBenchmark runs the ART benchmark grid for one figure.
+func artBenchmark(b *testing.B, ks []int, capacity int, waitMin, eps float64, algos []string) {
+	w := getWorld(b, 1)
+	for _, k := range ks {
+		for _, algo := range algos {
+			b.Run(fmt.Sprintf("req=%d/%s", k, algo), func(b *testing.B) {
+				opts := core.TreeOptions{}
+				switch algo {
+				case "ktree-slack":
+					opts.Slack = true
+				case "ktree-hotspot":
+					opts.Slack = true
+					opts.HotspotTheta = 300
+				}
+				scens := makeScenarios(b, w, 8, k, capacity, waitMin, eps, opts)
+				benchART(b, w, algo, scens)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6a: ART vs scheduled requests, four algorithms
+// (capacity 4, 10 min / 20%).
+func BenchmarkFig6a(b *testing.B) {
+	artBenchmark(b, []int{0, 1, 2, 3}, 4, 10, 0.2,
+		[]string{"ktree-slack", "branchbound", "bruteforce", "mip"})
+}
+
+// BenchmarkFig7a: ART vs scheduled requests, tree variants
+// (capacity 6, 10 min / 20%).
+func BenchmarkFig7a(b *testing.B) {
+	artBenchmark(b, []int{0, 2, 4, 6}, 6, 10, 0.2,
+		[]string{"ktree", "ktree-slack", "ktree-hotspot"})
+}
+
+// BenchmarkFig8a: ART at 4 scheduled requests vs constraints, four
+// algorithms.
+func BenchmarkFig8a(b *testing.B) {
+	w := getWorld(b, 1)
+	for _, c := range exp.Constraints {
+		for _, algo := range []string{"ktree-slack", "branchbound", "bruteforce", "mip"} {
+			b.Run(fmt.Sprintf("%dmin-%dpct/%s", c.WaitMinutes, c.EpsPercent, algo), func(b *testing.B) {
+				opts := core.TreeOptions{Slack: true}
+				scens := makeScenarios(b, w, 8, 4, 4, float64(c.WaitMinutes), float64(c.EpsPercent)/100, opts)
+				benchART(b, w, algo, scens)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8b: the servers dimension of Fig. 8 varies fleet density, not
+// the per-trial problem, so the bench varies the trial workload clustering
+// instead (more servers = less clustered per-vehicle load in the paper).
+func BenchmarkFig8b(b *testing.B) {
+	artBenchmark(b, []int{4}, 4, 10, 0.2,
+		[]string{"ktree-slack", "branchbound", "bruteforce", "mip"})
+}
+
+// BenchmarkFig9a: ART at 6 scheduled requests vs constraints, tree variants.
+func BenchmarkFig9a(b *testing.B) {
+	w := getWorld(b, 1)
+	for _, c := range exp.Constraints {
+		for _, algo := range []string{"ktree", "ktree-slack", "ktree-hotspot"} {
+			b.Run(fmt.Sprintf("%dmin-%dpct/%s", c.WaitMinutes, c.EpsPercent, algo), func(b *testing.B) {
+				opts := core.TreeOptions{}
+				switch algo {
+				case "ktree-slack":
+					opts.Slack = true
+				case "ktree-hotspot":
+					opts.Slack = true
+					opts.HotspotTheta = 300
+				}
+				scens := makeScenarios(b, w, 8, 6, 6, float64(c.WaitMinutes), float64(c.EpsPercent)/100, opts)
+				benchART(b, w, algo, scens)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9b: ART at 6 scheduled requests, tree variants (fleet-size
+// dimension realized as per-vehicle load, as in Fig. 8b).
+func BenchmarkFig9b(b *testing.B) {
+	artBenchmark(b, []int{6}, 6, 10, 0.2,
+		[]string{"ktree", "ktree-slack", "ktree-hotspot"})
+}
+
+// simBenchmark replays the benchmark workload through one configuration.
+func simBenchmark(b *testing.B, algo sim.Algorithm, servers, capacity int) {
+	w := getWorld(b, 2)
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(sim.Config{
+			Graph:     w.g,
+			Oracle:    w.oracle,
+			Servers:   servers,
+			Capacity:  capacity,
+			Algorithm: algo,
+			Seed:      9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := s.Run(w.reqs)
+		if m.Violations != 0 {
+			b.Fatalf("service violations: %d", m.Violations)
+		}
+		b.ReportMetric(float64(m.ACRT().Nanoseconds()), "acrt-ns")
+	}
+}
+
+// BenchmarkTable1: full matching runs at the four-algorithm defaults.
+func BenchmarkTable1(b *testing.B) {
+	for _, algo := range []sim.Algorithm{
+		sim.AlgoTreeSlack, sim.AlgoBranchBound, sim.AlgoBruteForce, sim.AlgoMIP,
+	} {
+		b.Run(algo.String(), func(b *testing.B) { simBenchmark(b, algo, 40, 4) })
+	}
+}
+
+// BenchmarkTable2 and BenchmarkFig7bc: full matching runs at the tree
+// defaults (capacity 6, smaller fleet).
+func BenchmarkTable2(b *testing.B) {
+	for _, algo := range []sim.Algorithm{
+		sim.AlgoTreeBasic, sim.AlgoTreeSlack, sim.AlgoTreeHotspot,
+	} {
+		b.Run(algo.String(), func(b *testing.B) { simBenchmark(b, algo, 8, 6) })
+	}
+}
+
+// BenchmarkFig6bc: the constraint/fleet sweeps of Figs. 6b/6c at their
+// default point (the full sweep is cmd/experiments -exp fig6b,fig6c).
+func BenchmarkFig6bc(b *testing.B) {
+	for _, servers := range []int{10, 40, 80} {
+		b.Run(fmt.Sprintf("servers=%d/ktree-slack", servers), func(b *testing.B) {
+			simBenchmark(b, sim.AlgoTreeSlack, servers, 4)
+		})
+		b.Run(fmt.Sprintf("servers=%d/branchbound", servers), func(b *testing.B) {
+			simBenchmark(b, sim.AlgoBranchBound, servers, 4)
+		})
+	}
+}
+
+// BenchmarkFig7bc: tree-variant fleet sweep at the tree defaults.
+func BenchmarkFig7bc(b *testing.B) {
+	for _, servers := range []int{4, 8, 20} {
+		for _, algo := range []sim.Algorithm{sim.AlgoTreeBasic, sim.AlgoTreeSlack, sim.AlgoTreeHotspot} {
+			b.Run(fmt.Sprintf("servers=%d/%s", servers, algo), func(b *testing.B) {
+				simBenchmark(b, algo, servers, 6)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9c: capacity sweep including unlimited (capacity 0), tree
+// variants; the hotspot variant is the one expected to stay flat.
+func BenchmarkFig9c(b *testing.B) {
+	for _, capacity := range []int{4, 6, 8, 0} {
+		for _, algo := range []sim.Algorithm{sim.AlgoTreeSlack, sim.AlgoTreeHotspot} {
+			name := fmt.Sprintf("cap=%d/%s", capacity, algo)
+			if capacity == 0 {
+				name = fmt.Sprintf("cap=unlim/%s", algo)
+			}
+			b.Run(name, func(b *testing.B) { simBenchmark(b, algo, 8, capacity) })
+		}
+	}
+}
+
+// BenchmarkOccupancy: unlimited-capacity run reporting the occupancy stats
+// of §VI-B alongside the timing.
+func BenchmarkOccupancy(b *testing.B) {
+	w := getWorld(b, 2)
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(sim.Config{
+			Graph:     w.g,
+			Oracle:    w.oracle,
+			Servers:   8,
+			Capacity:  0,
+			Algorithm: sim.AlgoTreeHotspot,
+			Seed:      9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := s.Run(w.reqs)
+		max, mean, top := m.OccupancyStats()
+		b.ReportMetric(float64(max), "peak-max")
+		b.ReportMetric(mean, "peak-mean")
+		b.ReportMetric(top, "peak-top20")
+	}
+}

@@ -1,0 +1,175 @@
+// Command ridesim runs one ridesharing simulation and prints its metrics.
+//
+//	ridesim -scale 0.02 -servers 200 -algo ktree-slack -capacity 6
+//	ridesim -graph city.bin -trips trips.csv -algo branchbound
+//
+// Without -graph/-trips it generates a synthetic city and workload at the
+// requested scale.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/exp"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/sp"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		scale     = flag.Float64("scale", 0.02, "synthetic world scale when no -graph is given")
+		graphPath = flag.String("graph", "", "road network file (RNG1 format, see genmap)")
+		tripsPath = flag.String("trips", "", "trip CSV (see gentrips); requires -graph")
+		servers   = flag.Int("servers", 200, "fleet size")
+		capacity  = flag.Int("capacity", 4, "vehicle capacity (0 = unlimited)")
+		waitMin   = flag.Float64("wait", 10, "waiting-time constraint in minutes")
+		epsPct    = flag.Float64("eps", 20, "service constraint in percent extra ride")
+		algoName  = flag.String("algo", "ktree-slack", "matching algorithm: ktree, ktree-slack, ktree-hotspot, bruteforce, branchbound, mip")
+		theta     = flag.Float64("theta", 300, "hotspot radius in meters (ktree-hotspot)")
+		lazy      = flag.Bool("lazy", false, "use lazy tree invalidation (paper §IV-A)")
+		oracleSel = flag.String("oracle", "bidij+lru", "shortest-path backend: dijkstra, bidij, astar, alt, arcflags, hublabels, bidij+lru")
+		seed      = flag.Int64("seed", 1, "random seed")
+		artOut    = flag.Bool("art", false, "print the ART-by-request-count breakdown")
+		jsonOut   = flag.Bool("json", false, "emit metrics as JSON instead of text")
+	)
+	flag.Parse()
+
+	if err := run(*scale, *graphPath, *tripsPath, *servers, *capacity, *waitMin, *epsPct, *algoName, *theta, *lazy, *oracleSel, *seed, *artOut, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "ridesim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseAlgo(name string) (sim.Algorithm, error) {
+	for _, a := range []sim.Algorithm{
+		sim.AlgoTreeBasic, sim.AlgoTreeSlack, sim.AlgoTreeHotspot,
+		sim.AlgoBruteForce, sim.AlgoBranchBound, sim.AlgoMIP,
+	} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+// buildOracle constructs the selected shortest-path backend over g.
+func buildOracle(name string, g *roadnet.Graph) (sp.Oracle, error) {
+	switch name {
+	case "dijkstra":
+		return sp.NewDijkstra(g), nil
+	case "bidij":
+		return sp.NewBidirectional(g), nil
+	case "astar":
+		return sp.NewAStar(g), nil
+	case "alt":
+		return sp.NewALT(g, 8), nil
+	case "arcflags":
+		return sp.NewArcFlags(g, 6), nil
+	case "hublabels":
+		return sp.NewHubLabels(g), nil
+	case "bidij+lru":
+		return cache.NewDefault(sp.NewBidirectional(g), g.N()), nil
+	}
+	return nil, fmt.Errorf("unknown oracle %q", name)
+}
+
+func run(scale float64, graphPath, tripsPath string, servers, capacity int, waitMin, epsPct float64, algoName string, theta float64, lazy bool, oracleSel string, seed int64, artOut, jsonOut bool) error {
+	algo, err := parseAlgo(algoName)
+	if err != nil {
+		return err
+	}
+
+	var g *roadnet.Graph
+	var reqs []sim.Request
+	switch {
+	case graphPath != "":
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return err
+		}
+		g, err = roadnet.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if tripsPath != "" {
+			tf, err := os.Open(tripsPath)
+			if err != nil {
+				return err
+			}
+			reqs, err = trace.ReadCSV(tf, g)
+			tf.Close()
+			if err != nil {
+				return err
+			}
+		} else {
+			reqs, err = trace.Generate(g, trace.GenOptions{Trips: 2000, Seed: seed})
+			if err != nil {
+				return err
+			}
+		}
+	case tripsPath != "":
+		return fmt.Errorf("-trips requires -graph")
+	default:
+		world, err := exp.BuildWorld(exp.WorldOptions{Scale: scale, Seed: seed})
+		if err != nil {
+			return err
+		}
+		g, reqs = world.Graph, world.Requests
+	}
+
+	if !jsonOut {
+		fmt.Printf("network: %d vertices, %d edges; %d requests; fleet %d x capacity %d; algo %s\n",
+			g.N(), g.M(), len(reqs), servers, capacity, algo)
+	}
+
+	oracle, err := buildOracle(oracleSel, g)
+	if err != nil {
+		return err
+	}
+	s, err := sim.New(sim.Config{
+		Graph:            g,
+		Oracle:           oracle,
+		Servers:          servers,
+		Capacity:         capacity,
+		WaitSeconds:      waitMin * 60,
+		Epsilon:          epsPct / 100,
+		Algorithm:        algo,
+		HotspotTheta:     theta,
+		LazyInvalidation: lazy,
+		Seed:             seed,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	m := s.Run(reqs)
+	wall := time.Since(start)
+	if err := s.CheckInvariants(); err != nil {
+		return fmt.Errorf("invariant violated: %w", err)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m.Snapshot())
+	}
+	fmt.Printf("\n%s\nwall time: %v\n", m, wall.Round(time.Millisecond))
+	max, mean, top := m.OccupancyStats()
+	fmt.Printf("occupancy: max=%d mean=%.2f top20%%=%.2f\n", max, mean, top)
+	if artOut {
+		fmt.Println("\nART by scheduled requests:")
+		for _, b := range m.ARTBuckets() {
+			d, n := m.ART(b)
+			fmt.Printf("  %2d requests: %10v  (%d trials)\n", b, d, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"repro/internal/roadnet"
+	"repro/internal/sp"
+)
+
+// Default capacities from the paper (§VI): "one storing up to ten million
+// shortest distances and the other storing up to ten thousand shortest paths
+// (separate caches are used because more distances can be stored in memory,
+// and shortest distance is needed more often than shortest path)".
+const (
+	DefaultDistEntries = 10_000_000
+	DefaultPathEntries = 10_000
+)
+
+// Oracle wraps an sp.Oracle with the paper's two LRU caches, both indexed
+// by the combined key id(s)·|V| + id(e).
+//
+// Not safe for concurrent use (neither are the wrapped engines).
+type Oracle struct {
+	inner sp.Oracle
+	n     uint64
+	dists *LRU[float64]
+	paths *LRU[[]roadnet.VertexID]
+}
+
+// New returns a caching wrapper around inner for a graph with n vertices,
+// with the given cache capacities. Capacities below 1 are clamped to 1.
+func New(inner sp.Oracle, n int, distEntries, pathEntries int) *Oracle {
+	return &Oracle{
+		inner: inner,
+		n:     uint64(n),
+		dists: NewLRU[float64](distEntries),
+		paths: NewLRU[[]roadnet.VertexID](pathEntries),
+	}
+}
+
+// NewDefault returns a caching wrapper with the paper's default capacities.
+func NewDefault(inner sp.Oracle, n int) *Oracle {
+	return New(inner, n, DefaultDistEntries, DefaultPathEntries)
+}
+
+func (o *Oracle) key(u, v roadnet.VertexID) uint64 {
+	return uint64(u)*o.n + uint64(v)
+}
+
+// Dist returns the shortest-path cost from u to v, consulting the distance
+// cache first.
+func (o *Oracle) Dist(u, v roadnet.VertexID) float64 {
+	if u == v {
+		return 0
+	}
+	k := o.key(u, v)
+	if d, ok := o.dists.Get(k); ok {
+		return d
+	}
+	d := o.inner.Dist(u, v)
+	o.dists.Put(k, d)
+	// The graph is undirected; a shortest path cost is symmetric, so prime
+	// the reverse direction too.
+	o.dists.Put(o.key(v, u), d)
+	return d
+}
+
+// Path returns a shortest path from u to v, consulting the path cache first.
+// The returned slice is shared with the cache and must not be modified.
+func (o *Oracle) Path(u, v roadnet.VertexID) []roadnet.VertexID {
+	if u == v {
+		return []roadnet.VertexID{u}
+	}
+	k := o.key(u, v)
+	if p, ok := o.paths.Get(k); ok {
+		return p
+	}
+	p := o.inner.Path(u, v)
+	o.paths.Put(k, p)
+	return p
+}
+
+// DistStats returns hit/miss counts of the distance cache.
+func (o *Oracle) DistStats() (hits, misses uint64) { return o.dists.Stats() }
+
+// PathStats returns hit/miss counts of the path cache.
+func (o *Oracle) PathStats() (hits, misses uint64) { return o.paths.Stats() }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/sp"
+)
+
+// BruteForce enumerates all stop permutations respecting pickup-before-
+// dropoff precedence, abandoning a prefix as soon as a constraint is
+// violated. It keeps the cheapest complete schedule. This is the paper's
+// baseline (§II): "We enumerate all of the permutations and then check the
+// constraints" — constraint checks let it "stop earlier on average", but it
+// performs no cost-bound pruning (that is what distinguishes it from
+// branch-and-bound in the evaluation).
+type BruteForce struct {
+	oracle sp.Oracle
+}
+
+// NewBruteForce returns a brute-force scheduler using the given oracle.
+func NewBruteForce(oracle sp.Oracle) *BruteForce { return &BruteForce{oracle: oracle} }
+
+// Name implements Scheduler.
+func (b *BruteForce) Name() string { return "bruteforce" }
+
+// MaxStops caps the instance size accepted by the exhaustive schedulers;
+// beyond this the search space is astronomically large.
+const MaxStops = 64
+
+// Schedule implements Scheduler.
+func (b *BruteForce) Schedule(inst *Instance) Result {
+	g, ok := newStopGraph(inst, b.oracle)
+	if !ok || len(g.stops) > MaxStops {
+		return Result{}
+	}
+	if len(g.stops) == 0 {
+		return Result{OK: true, Exact: true, Order: nil, Cost: 0}
+	}
+	s := bfSearch{g: g, w: newWalker(inst, b.oracle), best: math.Inf(1)}
+	s.used = make([]bool, len(g.stops))
+	s.seq = make([]int, 0, len(g.stops))
+	s.rec(0, inst.Odo)
+	if math.IsInf(s.best, 1) {
+		return Result{}
+	}
+	order := make([]Stop, len(s.bestSeq))
+	for i, si := range s.bestSeq {
+		order[i] = g.stops[si]
+	}
+	return Result{OK: true, Cost: s.best - inst.Odo, Order: order, Exact: true}
+}
+
+type bfSearch struct {
+	g       *stopGraph
+	w       *walker
+	used    []bool
+	seq     []int
+	best    float64 // best complete arrival odometer
+	bestSeq []int
+}
+
+// rec extends the permutation from graph point `last` (0 = origin) at
+// absolute odometer `at`.
+func (s *bfSearch) rec(last int, at float64) {
+	if len(s.seq) == len(s.g.stops) {
+		if at < s.best {
+			s.best = at
+			s.bestSeq = append(s.bestSeq[:0], s.seq...)
+		}
+		return
+	}
+	for si := range s.g.stops {
+		if s.used[si] {
+			continue
+		}
+		stop := s.g.stops[si]
+		// Precedence: a waiting trip's dropoff needs its pickup first.
+		if stop.Kind == Dropoff && !s.g.inst.Trips[stop.Trip].OnBoard && s.w.pickAt[stop.Trip] < 0 {
+			continue
+		}
+		nat := at + s.g.dist[last][si+1]
+		if !s.w.feasibleAt(stop, nat) {
+			continue
+		}
+		s.used[si] = true
+		s.seq = append(s.seq, si)
+		s.w.noteVisit(stop, nat)
+		s.rec(si+1, nat)
+		s.w.unnoteVisit(stop)
+		s.seq = s.seq[:len(s.seq)-1]
+		s.used[si] = false
+	}
+}

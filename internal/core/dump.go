@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump writes a human-readable rendering of the kinetic tree: one line per
+// node, indented by depth, with per-stop arrival odometers and the slack
+// aggregates. The cheapest branch is marked with '*' on its first stops.
+// Intended for debugging and for the treeviz developer tool.
+func (t *Tree) Dump(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "kinetic tree @vertex %d odo %.1f: %d active trips, %d nodes\n",
+		t.loc, t.odo, t.ActiveTrips(), t.nodes); err != nil {
+		return err
+	}
+	if t.Empty() {
+		_, err := fmt.Fprintln(w, "  (empty)")
+		return err
+	}
+	best := t.bestChild()
+	var walk func(n *treeNode, at float64, depth int, onBest bool) error
+	walk = func(n *treeNode, at float64, depth int, onBest bool) error {
+		arrive := at + n.leg
+		var sb strings.Builder
+		sb.WriteString(strings.Repeat("  ", depth+1))
+		if onBest {
+			sb.WriteString("* ")
+		} else {
+			sb.WriteString("- ")
+		}
+		for i, s := range n.stops {
+			if i > 0 {
+				arrive += n.intra[i-1]
+				sb.WriteString(" + ")
+			}
+			fmt.Fprintf(&sb, "%v@%.1f", s, arrive)
+		}
+		if t.opts.Slack {
+			fmt.Fprintf(&sb, "  [Δmax %.1f Δmin %.1f]", n.dmax, n.dmin)
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+		// The best continuation below this node.
+		var bc *treeNode
+		if onBest {
+			bestCostBelow := 0.0
+			_ = bestCostBelow
+			bcCost := 0.0
+			for _, c := range n.children {
+				total := c.leg + c.intraSum + bestCost(c.children)
+				if bc == nil || total < bcCost {
+					bc = c
+					bcCost = total
+				}
+			}
+		}
+		for _, c := range n.children {
+			if err := walk(c, arrive, depth+1, onBest && c == bc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, c := range t.children {
+		if err := walk(c, t.odo, 0, c == best); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the committed tree's shape.
+type TreeStats struct {
+	Nodes    int
+	Leaves   int // number of alternative schedules materialized
+	MaxDepth int
+}
+
+// Stats computes the tree-shape statistics.
+func (t *Tree) Stats() TreeStats {
+	var st TreeStats
+	var walk func(n *treeNode, depth int)
+	walk = func(n *treeNode, depth int) {
+		st.Nodes++
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		if len(n.children) == 0 {
+			st.Leaves++
+			return
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	for _, c := range t.children {
+		walk(c, 1)
+	}
+	return st
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func TestDumpAndStats(t *testing.T) {
+	w := newTestWorld(t, 61)
+	tree := NewTree(w.oracle, 0, 0, TreeOptions{Slack: true, Capacity: 4})
+
+	var buf bytes.Buffer
+	if err := tree.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(empty)") {
+		t.Fatalf("empty dump: %q", buf.String())
+	}
+
+	for i, pair := range [][2]roadnet.VertexID{{5, 40}, {12, 33}} {
+		ts, err := NewTripState(int64(i), pair[0], pair[1], 8000, 0.5, tree.Odo(), w.oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cand, ok, err := tree.TrialInsert(ts)
+		if err != nil || !ok {
+			t.Fatalf("insert %d failed (ok=%v err=%v)", i, ok, err)
+		}
+		tree.Commit(cand)
+	}
+
+	buf.Reset()
+	if err := tree.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2 active trips", "pickup(trip 0", "dropoff(trip 1", "Δmax", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+
+	st := tree.Stats()
+	if st.Nodes != tree.Nodes() {
+		t.Fatalf("Stats.Nodes %d != tree.Nodes %d", st.Nodes, tree.Nodes())
+	}
+	if st.Leaves < 1 {
+		t.Fatalf("Stats.Leaves = %d", st.Leaves)
+	}
+	// Every schedule visits all 4 pending stops, one per depth level
+	// (no hotspot merging here), so depth == pending stop count.
+	if st.MaxDepth != 4 {
+		t.Fatalf("MaxDepth = %d, want 4", st.MaxDepth)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// TestTreeMatchesBruteForceIncrementally is the strongest invariant of the
+// kinetic tree: because the tree materializes every valid schedule, its best
+// branch must equal the brute-force optimum of the equivalent rescheduling
+// instance after every commit and every advance, throughout a long random
+// lifecycle with interleaved movement. This is what makes the incremental
+// structure a correct substitute for rescheduling from scratch (paper §IV).
+func TestTreeMatchesBruteForceIncrementally(t *testing.T) {
+	for _, variant := range []struct {
+		name string
+		opts TreeOptions
+	}{
+		{"basic", TreeOptions{Capacity: 5}},
+		{"slack", TreeOptions{Slack: true, Capacity: 5}},
+		{"lazy", TreeOptions{Slack: true, Capacity: 5, LazyInvalidation: true}},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			w := newTestWorld(t, 51)
+			rng := rand.New(rand.NewSource(52))
+			n := int32(w.g.N())
+			tree := NewTree(w.oracle, roadnet.VertexID(rng.Int31n(n)), 0, variant.opts)
+			bf := NewBruteForce(w.oracle)
+
+			// instance reconstructs the rescheduling problem from the
+			// tree's current state.
+			instance := func() *Instance {
+				return &Instance{
+					Origin:   tree.Loc(),
+					Odo:      tree.Odo(),
+					Capacity: variant.opts.Capacity,
+					Trips:    tree.ActiveTripStates(),
+				}
+			}
+
+			checks := 0
+			for step := 0; step < 250; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5:
+					s := roadnet.VertexID(rng.Int31n(n))
+					e := roadnet.VertexID(rng.Int31n(n))
+					if s == e {
+						continue
+					}
+					ts, err := NewTripState(int64(step), s, e, 4500, 0.4, tree.Odo(), w.oracle)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cand, ok, err := tree.TrialInsert(ts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok {
+						continue
+					}
+					tree.Commit(cand)
+				case op < 8:
+					if tree.Empty() {
+						continue
+					}
+					if _, err := tree.Advance(); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					if tree.Empty() {
+						continue
+					}
+					target := tree.NextStops()[0].Vertex
+					path := w.oracle.Path(tree.Loc(), target)
+					if len(path) < 2 {
+						continue
+					}
+					tree.SetLocation(path[1], tree.Odo()+w.oracle.Dist(path[0], path[1]))
+				}
+				if tree.Empty() {
+					continue
+				}
+				treeCost, _, ok := tree.Best()
+				if !ok {
+					t.Fatalf("step %d: Best failed on non-empty tree", step)
+				}
+				res := bf.Schedule(instance())
+				if !res.OK {
+					t.Fatalf("step %d: brute force found no schedule where the tree has one", step)
+				}
+				if math.Abs(res.Cost-treeCost) > 1e-4 {
+					t.Fatalf("step %d (%s): tree best %.4f != brute force %.4f",
+						step, variant.name, treeCost, res.Cost)
+				}
+				checks++
+			}
+			if checks < 50 {
+				t.Fatalf("only %d equivalence checks performed", checks)
+			}
+		})
+	}
+}

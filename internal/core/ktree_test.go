@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// TestTreeLifecycle drives a kinetic tree through a long random sequence of
+// trial insertions, commits, advances, and location updates, validating the
+// complete tree after every mutation. This is the stateful API the simulator
+// uses, exercised the way the paper describes: requests interleaved with
+// server movement.
+func TestTreeLifecycle(t *testing.T) {
+	for _, variant := range []struct {
+		name string
+		opts TreeOptions
+	}{
+		{"basic", TreeOptions{Capacity: 4}},
+		{"slack", TreeOptions{Slack: true, Capacity: 4}},
+		{"hotspot", TreeOptions{Slack: true, HotspotTheta: 800, Capacity: 4}},
+		{"unlimited", TreeOptions{Slack: true}},
+		{"lazy", TreeOptions{Slack: true, Capacity: 4, LazyInvalidation: true}},
+		{"lazy-basic", TreeOptions{Capacity: 4, LazyInvalidation: true}},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			w := newTestWorld(t, 11)
+			rng := rand.New(rand.NewSource(12))
+			n := int32(w.g.N())
+			tree := NewTree(w.oracle, roadnet.VertexID(rng.Int31n(n)), 0, variant.opts)
+
+			const wait = 4000.0
+			const eps = 0.4
+			accepted, rejected, advances := 0, 0, 0
+			for step := 0; step < 400; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // new request
+					var s, e roadnet.VertexID
+					for {
+						s = roadnet.VertexID(rng.Int31n(n))
+						e = roadnet.VertexID(rng.Int31n(n))
+						if s != e {
+							break
+						}
+					}
+					ts, err := NewTripState(int64(step), s, e, wait, eps, tree.Odo(), w.oracle)
+					if err != nil {
+						t.Fatalf("step %d: trip state: %v", step, err)
+					}
+					cand, ok, err := tree.TrialInsert(ts)
+					if err != nil {
+						t.Fatalf("step %d: trial: %v", step, err)
+					}
+					if !ok {
+						rejected++
+						// Trial must leave the tree untouched.
+						if err := tree.Validate(); err != nil {
+							t.Fatalf("step %d: tree invalid after failed trial: %v", step, err)
+						}
+						continue
+					}
+					if cand.Cost < 0 {
+						t.Fatalf("step %d: negative candidate cost %f", step, cand.Cost)
+					}
+					tree.Commit(cand)
+					accepted++
+				case op < 8: // advance to the next stop
+					if tree.Empty() {
+						continue
+					}
+					prevOdo := tree.Odo()
+					served, err := tree.Advance()
+					if err != nil {
+						t.Fatalf("step %d: advance: %v", step, err)
+					}
+					if len(served) == 0 {
+						t.Fatalf("step %d: advance served nothing", step)
+					}
+					if tree.Odo() < prevOdo {
+						t.Fatalf("step %d: odometer went backwards", step)
+					}
+					advances++
+				default: // move one hop toward the next scheduled stop
+					if tree.Empty() {
+						continue
+					}
+					target := tree.NextStops()[0].Vertex
+					path := w.oracle.Path(tree.Loc(), target)
+					if len(path) < 2 {
+						continue
+					}
+					hop := w.oracle.Dist(path[0], path[1])
+					tree.SetLocation(path[1], tree.Odo()+hop)
+				}
+				if err := tree.Validate(); err != nil {
+					t.Fatalf("step %d (%s): tree invalid: %v", step, variant.name, err)
+				}
+				if c := tree.OnBoard(); variant.opts.Capacity > 0 && c > variant.opts.Capacity {
+					t.Fatalf("step %d: %d passengers onboard exceeds capacity", step, c)
+				}
+			}
+			if accepted < 20 {
+				t.Fatalf("only %d requests accepted; test exercised too little", accepted)
+			}
+			if advances < 20 {
+				t.Fatalf("only %d advances; test exercised too little", advances)
+			}
+			t.Logf("accepted=%d rejected=%d advances=%d", accepted, rejected, advances)
+		})
+	}
+}
+
+// TestTreeBestMatchesValidate cross-checks that the cost reported by Best
+// equals the walked cost of its order, via an Instance reconstruction.
+func TestTreeBestMatchesValidate(t *testing.T) {
+	w := newTestWorld(t, 21)
+	rng := rand.New(rand.NewSource(22))
+	n := int32(w.g.N())
+	tree := NewTree(w.oracle, roadnet.VertexID(5), 0, TreeOptions{Slack: true, Capacity: 6})
+	var trips []TripState
+	for i := 0; i < 4; i++ {
+		s := roadnet.VertexID(rng.Int31n(n))
+		e := roadnet.VertexID(rng.Int31n(n))
+		if s == e {
+			continue
+		}
+		ts, err := NewTripState(int64(i), s, e, 6000, 0.5, tree.Odo(), w.oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cand, ok, err := tree.TrialInsert(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		tree.Commit(cand)
+		trips = append(trips, ts)
+	}
+	if tree.Empty() {
+		t.Skip("no trips accepted under this seed")
+	}
+	cost, order, ok := tree.Best()
+	if !ok {
+		t.Fatal("Best on non-empty tree returned !ok")
+	}
+	inst := &Instance{Origin: tree.Loc(), Odo: tree.Odo(), Trips: trips, Capacity: 6}
+	walked, err := ValidateOrder(inst, w.oracle, order)
+	if err != nil {
+		t.Fatalf("best order invalid: %v", err)
+	}
+	if math.Abs(walked-cost) > 1e-6 {
+		t.Fatalf("Best cost %.4f != walked %.4f", cost, walked)
+	}
+}
+
+// TestTreeRejectsImpossibleRequest checks that a request whose pickup is
+// beyond the waiting budget is rejected.
+func TestTreeRejectsImpossibleRequest(t *testing.T) {
+	w := newTestWorld(t, 31)
+	tree := NewTree(w.oracle, 0, 0, TreeOptions{})
+	// Find the farthest vertex from 0 and give a tiny waiting budget.
+	far := roadnet.VertexID(1)
+	for v := int32(2); v < int32(w.g.N()); v++ {
+		if w.oracle.Dist(0, v) > w.oracle.Dist(0, far) {
+			far = v
+		}
+	}
+	ts, err := NewTripState(1, far, 0, 10 /* meters of wait */, 0.2, 0, w.oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tree.TrialInsert(ts); ok {
+		t.Fatal("accepted a request whose pickup is out of waiting range")
+	}
+}

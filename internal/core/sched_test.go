@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+	"repro/internal/sp"
+)
+
+// testWorld bundles a small road network and an exact oracle for scheduler
+// tests.
+type testWorld struct {
+	g      *roadnet.Graph
+	oracle *sp.Matrix
+}
+
+func newTestWorld(t testing.TB, seed int64) *testWorld {
+	t.Helper()
+	g, err := roadnet.Grid(roadnet.GridOptions{
+		Rows: 7, Cols: 7, Spacing: 500, Jitter: 0.2, WeightVar: 0.2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	m, err := sp.NewMatrix(g)
+	if err != nil {
+		t.Fatalf("matrix: %v", err)
+	}
+	return &testWorld{g: g, oracle: m}
+}
+
+// randomInstance generates a scheduling instance with nTrips trips whose
+// budgets are drawn wide enough to usually (but not always) be feasible.
+func (w *testWorld) randomInstance(rng *rand.Rand, nTrips, capacity int) *Instance {
+	n := int32(w.g.N())
+	origin := roadnet.VertexID(rng.Int31n(n))
+	inst := &Instance{Origin: origin, Odo: rng.Float64() * 1000, Capacity: capacity}
+	onboard := 0
+	for i := 0; i < nTrips; i++ {
+		var s, e roadnet.VertexID
+		for {
+			s = roadnet.VertexID(rng.Int31n(n))
+			e = roadnet.VertexID(rng.Int31n(n))
+			if s != e {
+				break
+			}
+		}
+		d := w.oracle.Dist(s, e)
+		eps := 0.1 + rng.Float64()*0.5
+		ts := TripState{
+			ID:          int64(i),
+			Pickup:      s,
+			Dropoff:     e,
+			ShortestLen: d,
+			MaxRide:     (1 + eps) * d,
+		}
+		// A vehicle can only start with as many onboard passengers as
+		// its capacity allows.
+		if rng.Float64() < 0.3 && (capacity == 0 || onboard < capacity) {
+			ts.OnBoard = true
+			onboard++
+			ts.DropDeadline = inst.Odo + w.oracle.Dist(origin, e)*(1.1+rng.Float64())
+		} else {
+			ts.WaitDeadline = inst.Odo + w.oracle.Dist(origin, s)*(0.8+rng.Float64()*1.5) + 200
+		}
+		inst.Trips = append(inst.Trips, ts)
+	}
+	return inst
+}
+
+// TestSchedulersAgree is the central cross-validation of the reproduction:
+// brute force, branch and bound, MIP, and both exact kinetic-tree variants
+// must report the same feasibility and the same optimal cost on random
+// instances, and every returned order must validate.
+func TestSchedulersAgree(t *testing.T) {
+	w := newTestWorld(t, 1)
+	rng := rand.New(rand.NewSource(2))
+	schedulers := []Scheduler{
+		NewBruteForce(w.oracle),
+		NewBranchBound(w.oracle),
+		NewMIPScheduler(w.oracle, 200000),
+		NewTreeScheduler(w.oracle, TreeOptions{}),
+		NewTreeScheduler(w.oracle, TreeOptions{Slack: true}),
+	}
+	feasibleSeen, infeasibleSeen := 0, 0
+	for iter := 0; iter < 120; iter++ {
+		nTrips := 1 + rng.Intn(3)
+		capacity := 0
+		if rng.Float64() < 0.5 {
+			capacity = 1 + rng.Intn(3)
+		}
+		inst := w.randomInstance(rng, nTrips, capacity)
+		ref := schedulers[0].Schedule(inst)
+		if ref.OK {
+			feasibleSeen++
+			if _, err := ValidateOrder(inst, w.oracle, ref.Order); err != nil {
+				t.Fatalf("iter %d: bruteforce order invalid: %v", iter, err)
+			}
+		} else {
+			infeasibleSeen++
+		}
+		for _, s := range schedulers[1:] {
+			got := s.Schedule(inst)
+			if got.OK != ref.OK {
+				t.Fatalf("iter %d: %s feasibility=%v, bruteforce=%v (inst=%+v)",
+					iter, s.Name(), got.OK, ref.OK, inst)
+			}
+			if !ref.OK {
+				continue
+			}
+			if math.Abs(got.Cost-ref.Cost) > 1e-4 {
+				t.Fatalf("iter %d: %s cost=%.4f, bruteforce=%.4f", iter, s.Name(), got.Cost, ref.Cost)
+			}
+			cost, err := ValidateOrder(inst, w.oracle, got.Order)
+			if err != nil {
+				t.Fatalf("iter %d: %s order invalid: %v", iter, s.Name(), err)
+			}
+			if math.Abs(cost-got.Cost) > 1e-4 {
+				t.Fatalf("iter %d: %s reported cost %.4f but order walks to %.4f", iter, s.Name(), got.Cost, cost)
+			}
+		}
+	}
+	if feasibleSeen < 20 || infeasibleSeen < 5 {
+		t.Fatalf("unbalanced test mix: %d feasible, %d infeasible — tune generator", feasibleSeen, infeasibleSeen)
+	}
+}
+
+// TestHotspotBound verifies the hotspot approximation never reports a cost
+// below the optimum and respects the paper's additive 2(m+1)θ bound on
+// instances where every pending stop lies inside one hotspot.
+func TestHotspotBound(t *testing.T) {
+	w := newTestWorld(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	const theta = 3000.0
+	exact := NewBruteForce(w.oracle)
+	hs := NewTreeScheduler(w.oracle, TreeOptions{Slack: true, HotspotTheta: theta})
+	checked := 0
+	for iter := 0; iter < 150; iter++ {
+		inst := w.randomInstance(rng, 1+rng.Intn(3), 0)
+		// Loosen constraints so hotspot ordering freedom is the only
+		// difference (the bound holds "when constraints of all points
+		// in Sbest is larger than mθ", Theorem 3).
+		for i := range inst.Trips {
+			inst.Trips[i].MaxRide += 10 * theta
+			if inst.Trips[i].OnBoard {
+				inst.Trips[i].DropDeadline += 10 * theta
+			} else {
+				inst.Trips[i].WaitDeadline += 10 * theta
+			}
+		}
+		ref := exact.Schedule(inst)
+		got := hs.Schedule(inst)
+		if !ref.OK {
+			continue
+		}
+		if !got.OK {
+			t.Fatalf("iter %d: hotspot infeasible where optimum exists", iter)
+		}
+		m := float64(len(inst.PendingStops()))
+		bound := ref.Cost + 2*(m+1)*theta
+		if got.Cost > bound+1e-4 {
+			t.Fatalf("iter %d: hotspot cost %.1f exceeds bound %.1f (opt %.1f, m=%v)",
+				iter, got.Cost, bound, ref.Cost, m)
+		}
+		if got.Cost < ref.Cost-1e-4 {
+			t.Fatalf("iter %d: hotspot cost %.1f below optimum %.1f", iter, got.Cost, ref.Cost)
+		}
+		if _, err := ValidateOrder(inst, w.oracle, got.Order); err != nil {
+			t.Fatalf("iter %d: hotspot order invalid: %v", iter, err)
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d feasible hotspot cases checked", checked)
+	}
+}
+
+// TestCapacityEnforced checks that no scheduler returns an order exceeding
+// the vehicle capacity at any point.
+func TestCapacityEnforced(t *testing.T) {
+	w := newTestWorld(t, 5)
+	rng := rand.New(rand.NewSource(6))
+	schedulers := []Scheduler{
+		NewBruteForce(w.oracle),
+		NewBranchBound(w.oracle),
+		NewMIPScheduler(w.oracle, 200000),
+		NewTreeScheduler(w.oracle, TreeOptions{Slack: true}),
+	}
+	for iter := 0; iter < 60; iter++ {
+		inst := w.randomInstance(rng, 3, 1) // capacity 1 with 3 trips
+		for _, s := range schedulers {
+			got := s.Schedule(inst)
+			if !got.OK {
+				continue
+			}
+			onboard := 0
+			for i := range inst.Trips {
+				if inst.Trips[i].OnBoard {
+					onboard++
+				}
+			}
+			for _, stop := range got.Order {
+				if stop.Kind == Pickup {
+					onboard++
+				} else {
+					onboard--
+				}
+				if onboard > inst.Capacity {
+					t.Fatalf("iter %d: %s schedule exceeds capacity: %v", iter, s.Name(), got.Order)
+				}
+			}
+		}
+	}
+}
+
+// TestEmptyInstance checks the degenerate no-pending-stops case.
+func TestEmptyInstance(t *testing.T) {
+	w := newTestWorld(t, 7)
+	inst := &Instance{Origin: 0, Odo: 0}
+	for _, s := range []Scheduler{
+		NewBruteForce(w.oracle),
+		NewBranchBound(w.oracle),
+		NewMIPScheduler(w.oracle, 0),
+		NewTreeScheduler(w.oracle, TreeOptions{}),
+	} {
+		got := s.Schedule(inst)
+		if !got.OK || got.Cost != 0 || len(got.Order) != 0 {
+			t.Errorf("%s on empty instance: %+v", s.Name(), got)
+		}
+	}
+}

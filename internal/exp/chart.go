@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// Chart renders one or more named series as an ASCII line chart, giving the
+// figures of §VI a visual form in terminal output. X positions are the row
+// labels of the originating table; Y values are durations in nanoseconds or
+// plain numbers.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []string
+	Series []Series
+	Height int // rows of the plot area (default 12)
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64 // NaN = missing point (e.g. DNF)
+}
+
+// seriesGlyphs mark the points of up to six series.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart in plain text.
+func (c *Chart) Render(w io.Writer) error {
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	if len(c.Series) == 0 || len(c.XTicks) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return err
+	}
+	// Value range over all present points.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		_, err := fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return err
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	colWidth := 4
+	for _, t := range c.XTicks {
+		if len(t)+2 > colWidth {
+			colWidth = len(t) + 2
+		}
+	}
+	plotW := colWidth * len(c.XTicks)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotW))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range c.Series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for xi, v := range s.Values {
+			if xi >= len(c.XTicks) || math.IsNaN(v) {
+				continue
+			}
+			col := xi*colWidth + colWidth/2
+			row := rowOf(v)
+			if grid[row][col] == ' ' {
+				grid[row][col] = glyph
+			} else {
+				grid[row][col] = '&' // overlapping series
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+		return err
+	}
+	yfmt := func(v float64) string {
+		if c.YLabel == "time" {
+			return time.Duration(v).Round(time.Microsecond).String()
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	labelW := len(yfmt(hi))
+	if l := len(yfmt(lo)); l > labelW {
+		labelW = l
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yfmt(hi))
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelW, yfmt(lo))
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", plotW)); err != nil {
+		return err
+	}
+	// X tick labels.
+	var ticks strings.Builder
+	for _, t := range c.XTicks {
+		ticks.WriteString(fmt.Sprintf("%-*s", colWidth, t))
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s (%s)\n", strings.Repeat(" ", labelW), ticks.String(), c.XLabel); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesGlyphs[si%len(seriesGlyphs)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%s  legend: %s\n\n", strings.Repeat(" ", labelW), strings.Join(legend, "  "))
+	return err
+}
+
+// ChartFromTable converts a sweep table (first column = x tick, remaining
+// columns = series of durations) into a Chart. Cells that fail to parse
+// (e.g. "DNF", "n/a") become missing points.
+func ChartFromTable(t *Table, xLabel string) *Chart {
+	c := &Chart{Title: fmt.Sprintf("%s — %s", t.ID, t.Title), XLabel: xLabel, YLabel: "time"}
+	for _, row := range t.Rows {
+		if len(row) > 0 {
+			c.XTicks = append(c.XTicks, row[0])
+		}
+	}
+	for col := 1; col < len(t.Columns); col++ {
+		s := Series{Name: t.Columns[col]}
+		for _, row := range t.Rows {
+			v := math.NaN()
+			if col < len(row) {
+				if d, err := time.ParseDuration(row[col]); err == nil {
+					v = float64(d)
+				}
+			}
+			s.Values = append(s.Values, v)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}

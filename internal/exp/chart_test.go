@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "demo chart",
+		XLabel: "constraints",
+		YLabel: "time",
+		XTicks: []string{"a", "b", "c"},
+		Series: []Series{
+			{Name: "fast", Values: []float64{1000, 2000, 3000}},
+			{Name: "slow", Values: []float64{5000, math.NaN(), 9000}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo chart", "*=fast", "o=slow", "(constraints)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart output missing %q:\n%s", want, out)
+		}
+	}
+	// The NaN point must not be plotted: count 'o' glyphs inside plot rows
+	// only (lines containing the axis bar).
+	plotted := 0
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			plotted += strings.Count(line[i:], "o")
+		}
+	}
+	if plotted != 2 {
+		t.Errorf("series 'slow' should plot exactly 2 points, found %d\n%s", plotted, out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{Title: "empty"}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty chart output: %q", buf.String())
+	}
+	c := &Chart{Title: "all-nan", XTicks: []string{"x"}, Series: []Series{{Name: "s", Values: []float64{math.NaN()}}}}
+	buf.Reset()
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("all-NaN chart output: %q", buf.String())
+	}
+}
+
+func TestChartFromTable(t *testing.T) {
+	table := &Table{
+		ID:      "figX",
+		Title:   "sweep",
+		Columns: []string{"dim", "algo1", "algo2"},
+		Rows: [][]string{
+			{"p1", "1ms", "10ms"},
+			{"p2", "2ms", "DNF"},
+		},
+	}
+	c := ChartFromTable(table, "dim")
+	if len(c.Series) != 2 {
+		t.Fatalf("series count %d", len(c.Series))
+	}
+	if len(c.XTicks) != 2 || c.XTicks[0] != "p1" {
+		t.Fatalf("xticks %v", c.XTicks)
+	}
+	if c.Series[0].Values[0] != 1e6 {
+		t.Fatalf("parsed value %v, want 1e6 ns", c.Series[0].Values[0])
+	}
+	if !math.IsNaN(c.Series[1].Values[1]) {
+		t.Fatalf("DNF should parse to NaN, got %v", c.Series[1].Values[1])
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// tinyHarness builds a minimal world for smoke tests.
+func tinyHarness(t testing.TB) *Harness {
+	t.Helper()
+	w, err := BuildWorld(WorldOptions{Scale: 0.004, Trips: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewHarness(w, 0, nil)
+}
+
+func TestBuildWorldValidation(t *testing.T) {
+	if _, err := BuildWorld(WorldOptions{Scale: 0}); err == nil {
+		t.Fatal("expected error for zero scale")
+	}
+	if _, err := BuildWorld(WorldOptions{Scale: -1}); err == nil {
+		t.Fatal("expected error for negative scale")
+	}
+}
+
+func TestScaleCount(t *testing.T) {
+	w, err := BuildWorld(WorldOptions{Scale: 0.004, Trips: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.ScaleCount(10000, 10); got != 40 {
+		t.Fatalf("ScaleCount(10000)=%d, want 40", got)
+	}
+	if got := w.ScaleCount(100, 10); got != 10 {
+		t.Fatalf("min clamp: got %d", got)
+	}
+}
+
+func TestHarnessMemoizes(t *testing.T) {
+	h := tinyHarness(t)
+	p := RunParams{Algo: sim.AlgoTreeSlack, Servers: 10, Capacity: 4, Constraint: DefaultConstraint}
+	a, err := h.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical params were re-run instead of memoized")
+	}
+}
+
+// TestExperimentsSmoke runs every experiment on a tiny world and checks the
+// tables render with the right structure. This is the integration test of
+// the whole reproduction pipeline (network -> trace -> sim -> tables).
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	h := tinyHarness(t)
+	for _, id := range AllIDs() {
+		fn := h.Experiments()[id]
+		if fn == nil {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		table, err := fn()
+		if err != nil {
+			t.Fatalf("experiment %s: %v", id, err)
+		}
+		if table.ID != id {
+			t.Errorf("experiment %s: table ID %s", id, table.ID)
+		}
+		if len(table.Rows) == 0 {
+			t.Errorf("experiment %s: no rows", id)
+		}
+		var buf bytes.Buffer
+		if err := table.Render(&buf); err != nil {
+			t.Fatalf("experiment %s: render: %v", id, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, table.Title) {
+			t.Errorf("experiment %s: rendered output missing title", id)
+		}
+		for _, col := range table.Columns {
+			if !strings.Contains(out, col) {
+				t.Errorf("experiment %s: rendered output missing column %q", id, col)
+			}
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	table := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "bbbb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "a    bbbb", "333  4", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveLPOrFail(t *testing.T, lp *LP) ([]float64, float64) {
+	t.Helper()
+	x, obj, st, err := SolveLP(lp)
+	if err != nil {
+		t.Fatalf("SolveLP: %v", err)
+	}
+	if st != LPOptimal {
+		t.Fatalf("SolveLP status %v", st)
+	}
+	return x, obj
+}
+
+func TestSolveLPSimple(t *testing.T) {
+	// minimize -x - 2y  s.t. x + y <= 4, x <= 2, y <= 3, x,y >= 0.
+	// Optimum at (1, 3): obj -7.
+	lp := &LP{
+		NumVars: 2,
+		Cost:    []float64{-1, -2},
+		Rows:    [][]float64{{1, 1}, {1, 0}, {0, 1}},
+		Senses:  []Sense{LE, LE, LE},
+		RHS:     []float64{4, 2, 3},
+	}
+	x, obj := solveLPOrFail(t, lp)
+	if math.Abs(obj-(-7)) > 1e-7 {
+		t.Fatalf("obj=%v want -7 (x=%v)", obj, x)
+	}
+}
+
+func TestSolveLPEqualityAndGE(t *testing.T) {
+	// minimize x + y  s.t. x + y = 5, x >= 2. Optimum 5 with x in [2,5].
+	lp := &LP{
+		NumVars: 2,
+		Cost:    []float64{1, 1},
+		Rows:    [][]float64{{1, 1}, {1, 0}},
+		Senses:  []Sense{EQ, GE},
+		RHS:     []float64{5, 2},
+	}
+	x, obj := solveLPOrFail(t, lp)
+	if math.Abs(obj-5) > 1e-7 || x[0] < 2-1e-7 {
+		t.Fatalf("obj=%v x=%v", obj, x)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	lp := &LP{
+		NumVars: 1,
+		Cost:    []float64{1},
+		Rows:    [][]float64{{1}, {1}},
+		Senses:  []Sense{LE, GE},
+		RHS:     []float64{1, 2},
+	}
+	_, _, st, err := SolveLP(lp)
+	if err != nil || st != LPInfeasible {
+		t.Fatalf("status=%v err=%v, want infeasible", st, err)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	lp := &LP{
+		NumVars: 1,
+		Cost:    []float64{-1},
+		Rows:    [][]float64{{-1}},
+		Senses:  []Sense{LE},
+		RHS:     []float64{0},
+	}
+	_, _, st, err := SolveLP(lp)
+	if err != nil || st != LPUnbounded {
+		t.Fatalf("status=%v err=%v, want unbounded", st, err)
+	}
+}
+
+func TestSolveLPNegativeRHS(t *testing.T) {
+	// x >= 0, -x <= -3  =>  x >= 3; minimize x => 3.
+	lp := &LP{
+		NumVars: 1,
+		Cost:    []float64{1},
+		Rows:    [][]float64{{-1}},
+		Senses:  []Sense{LE},
+		RHS:     []float64{-3},
+	}
+	_, obj := solveLPOrFail(t, lp)
+	if math.Abs(obj-3) > 1e-7 {
+		t.Fatalf("obj=%v want 3", obj)
+	}
+}
+
+func TestSolveLPValidation(t *testing.T) {
+	bad := []*LP{
+		{NumVars: 0},
+		{NumVars: 1, Cost: []float64{1, 2}},
+		{NumVars: 1, Cost: []float64{1}, Rows: [][]float64{{1, 2}}, Senses: []Sense{LE}, RHS: []float64{1}},
+		{NumVars: 1, Cost: []float64{1}, Rows: [][]float64{{1}}, Senses: []Sense{LE}, RHS: []float64{}},
+	}
+	for i, lp := range bad {
+		if _, _, _, err := SolveLP(lp); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestMIPKnapsack(t *testing.T) {
+	// maximize 10a + 6b + 4c  s.t. a+b+c <= 2 (binary)  => minimize -().
+	m := &Model{}
+	a := m.AddVar(-10, Binary, "a")
+	b := m.AddVar(-6, Binary, "b")
+	c := m.AddVar(-4, Binary, "c")
+	if err := m.AddConstraint([]int{a, b, c}, []float64{1, 1, 1}, LE, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !sol.Found {
+		t.Fatalf("status=%v", sol.Status)
+	}
+	if math.Abs(sol.Objective-(-16)) > 1e-7 {
+		t.Fatalf("objective %v want -16 (x=%v)", sol.Objective, sol.X)
+	}
+	if sol.X[a] != 1 || sol.X[b] != 1 || sol.X[c] != 0 {
+		t.Fatalf("x=%v", sol.X)
+	}
+}
+
+func TestMIPInfeasible(t *testing.T) {
+	m := &Model{}
+	a := m.AddVar(1, Binary, "a")
+	if err := m.AddConstraint([]int{a}, []float64{1}, GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible || sol.Found {
+		t.Fatalf("status=%v found=%v", sol.Status, sol.Found)
+	}
+}
+
+func TestMIPMixedContinuous(t *testing.T) {
+	// minimize y + 0.5 z  s.t. z >= 3 - 2y, y binary, z >= 0.
+	// y=1 -> z >= 1 -> cost 1.5; y=0 -> z >= 3 -> cost 1.5. Either optimal.
+	m := &Model{}
+	y := m.AddVar(1, Binary, "y")
+	z := m.AddVar(0.5, Continuous, "z")
+	if err := m.AddConstraint([]int{z, y}, []float64{1, 2}, GE, 3); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-1.5) > 1e-7 {
+		t.Fatalf("obj=%v status=%v", sol.Objective, sol.Status)
+	}
+}
+
+func TestMIPConstraintValidation(t *testing.T) {
+	m := &Model{}
+	m.AddVar(1, Binary, "a")
+	if err := m.AddConstraint([]int{5}, []float64{1}, LE, 1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := m.AddConstraint([]int{0}, []float64{1, 2}, LE, 1); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+// TestMIPMatchesBruteForce cross-validates the solver against exhaustive
+// enumeration on random small binary programs.
+func TestMIPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 60; iter++ {
+		nv := 2 + rng.Intn(5) // binaries
+		nc := 1 + rng.Intn(4) // constraints
+		m := &Model{}
+		costs := make([]float64, nv)
+		for j := 0; j < nv; j++ {
+			costs[j] = math.Round(rng.Float64()*20 - 10)
+			m.AddVar(costs[j], Binary, "")
+		}
+		type row struct {
+			coef []float64
+			s    Sense
+			rhs  float64
+		}
+		rows := make([]row, nc)
+		for i := range rows {
+			coef := make([]float64, nv)
+			for j := range coef {
+				coef[j] = math.Round(rng.Float64()*10 - 5)
+			}
+			s := []Sense{LE, GE}[rng.Intn(2)]
+			rhs := math.Round(rng.Float64()*10 - 3)
+			rows[i] = row{coef, s, rhs}
+			idx := make([]int, nv)
+			for j := range idx {
+				idx[j] = j
+			}
+			if err := m.AddConstraint(idx, coef, s, rhs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Brute force over 2^nv assignments.
+		bestObj := math.Inf(1)
+		for mask := 0; mask < 1<<nv; mask++ {
+			obj := 0.0
+			feasible := true
+			for _, r := range rows {
+				lhs := 0.0
+				for j := 0; j < nv; j++ {
+					if mask&(1<<j) != 0 {
+						lhs += r.coef[j]
+					}
+				}
+				switch r.s {
+				case LE:
+					feasible = feasible && lhs <= r.rhs+1e-9
+				case GE:
+					feasible = feasible && lhs >= r.rhs-1e-9
+				}
+			}
+			if !feasible {
+				continue
+			}
+			for j := 0; j < nv; j++ {
+				if mask&(1<<j) != 0 {
+					obj += costs[j]
+				}
+			}
+			if obj < bestObj {
+				bestObj = obj
+			}
+		}
+		sol, err := m.Solve(SolveOptions{MaxNodes: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(bestObj, 1) {
+			if sol.Found {
+				t.Fatalf("iter %d: solver found %v on infeasible program", iter, sol.Objective)
+			}
+			continue
+		}
+		if !sol.Found {
+			t.Fatalf("iter %d: solver reported infeasible, brute force found %v", iter, bestObj)
+		}
+		if math.Abs(sol.Objective-bestObj) > 1e-6 {
+			t.Fatalf("iter %d: solver %v != brute force %v", iter, sol.Objective, bestObj)
+		}
+	}
+}
+
+// TestMIPInitialBoundPrunes verifies the incumbent-seeding option prunes
+// without losing the optimum when the bound is loose, and suppresses
+// solutions when the bound is tighter than the optimum.
+func TestMIPInitialBoundPrunes(t *testing.T) {
+	build := func() *Model {
+		m := &Model{}
+		a := m.AddVar(-5, Binary, "a")
+		b := m.AddVar(-3, Binary, "b")
+		if err := m.AddConstraint([]int{a, b}, []float64{1, 1}, LE, 1); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	sol, err := build().Solve(SolveOptions{InitialBound: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Found || sol.Objective != -5 {
+		t.Fatalf("loose bound: %+v", sol)
+	}
+	sol, err = build().Solve(SolveOptions{InitialBound: -10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Found {
+		t.Fatalf("bound tighter than optimum must find nothing: %+v", sol)
+	}
+}
+
+func BenchmarkMIPSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := &Model{}
+		vars := make([]int, 8)
+		for j := range vars {
+			vars[j] = m.AddVar(float64(j%3)-1, Binary, "")
+		}
+		coef := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+		if err := m.AddConstraint(vars, coef, LE, 4); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Solve(SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package mip
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// VarKind distinguishes continuous from binary decision variables.
+type VarKind int8
+
+// Variable kinds.
+const (
+	Continuous VarKind = iota
+	Binary             // integer in {0, 1}
+)
+
+// Model is a mixed-integer program under construction:
+//
+//	minimize  c·x
+//	subject to  A x (<=,>=,==) b,  x >= 0,  x_j in {0,1} for binary j.
+//
+// Upper bounds other than the implicit binary bound must be expressed as
+// constraints. The zero value is an empty model ready for use.
+type Model struct {
+	costs  []float64
+	kinds  []VarKind
+	names  []string
+	rows   []sparseRow
+	senses []Sense
+	rhs    []float64
+}
+
+type sparseRow struct {
+	idx []int
+	val []float64
+}
+
+// AddVar adds a variable with the given objective coefficient and kind,
+// returning its index. The name is used in diagnostics only.
+func (m *Model) AddVar(cost float64, kind VarKind, name string) int {
+	m.costs = append(m.costs, cost)
+	m.kinds = append(m.kinds, kind)
+	m.names = append(m.names, name)
+	return len(m.costs) - 1
+}
+
+// NumVars returns the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.costs) }
+
+// AddConstraint adds the row sum_i val[i]*x[idx[i]] (sense) rhs.
+// Indices must reference existing variables.
+func (m *Model) AddConstraint(idx []int, val []float64, sense Sense, rhs float64) error {
+	if len(idx) != len(val) {
+		return fmt.Errorf("mip: constraint has %d indices but %d values", len(idx), len(val))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= len(m.costs) {
+			return fmt.Errorf("mip: constraint references variable %d, model has %d", i, len(m.costs))
+		}
+	}
+	m.rows = append(m.rows, sparseRow{
+		idx: append([]int(nil), idx...),
+		val: append([]float64(nil), val...),
+	})
+	m.senses = append(m.senses, sense)
+	m.rhs = append(m.rhs, rhs)
+	return nil
+}
+
+// Status reports the outcome of a MIP solve.
+type Status int8
+
+// MIP solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	NodeLimit // search truncated; Solution holds the incumbent if Found
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NodeLimit:
+		return "node-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int8(s))
+}
+
+// Solution is the result of Model.Solve.
+type Solution struct {
+	Status    Status
+	Found     bool      // an integral incumbent exists
+	Objective float64   // incumbent objective when Found
+	X         []float64 // incumbent variable values when Found
+	Nodes     int       // branch & bound nodes explored
+}
+
+// SolveOptions tunes the branch & bound search.
+type SolveOptions struct {
+	// MaxNodes caps the number of explored nodes (0 = default 100000).
+	MaxNodes int
+	// InitialBound primes the incumbent objective; nodes whose LP bound
+	// is not better are pruned. Use +Inf (or 0 value via NaN check) for none.
+	InitialBound float64
+	// Deadline, when non-zero, stops the search once exceeded; the best
+	// incumbent found so far is returned with Status == NodeLimit.
+	Deadline time.Time
+}
+
+// Solve runs depth-first branch & bound with LP relaxations.
+func (m *Model) Solve(opt SolveOptions) (*Solution, error) {
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	incumbent := math.Inf(1)
+	if opt.InitialBound != 0 && !math.IsNaN(opt.InitialBound) {
+		incumbent = opt.InitialBound
+	}
+
+	sol := &Solution{Status: Infeasible}
+	// fixed[j]: -1 unfixed, 0 or 1 fixed (binaries only).
+	fixed := make([]int8, m.NumVars())
+	for i := range fixed {
+		fixed[i] = -1
+	}
+
+	var hitLimit bool
+	var unbounded bool
+
+	var rec func()
+	rec = func() {
+		if sol.Nodes >= maxNodes {
+			hitLimit = true
+			return
+		}
+		if !opt.Deadline.IsZero() && sol.Nodes%4 == 0 && time.Now().After(opt.Deadline) {
+			hitLimit = true
+			return
+		}
+		sol.Nodes++
+		lp := m.buildLP(fixed)
+		lp.Deadline = opt.Deadline
+		// Objective constant contributed by fixed binaries: the LP's
+		// objective omits them, so every bound/incumbent comparison must
+		// add it back.
+		fixedConst := 0.0
+		for j, f := range fixed {
+			if m.kinds[j] == Binary && f > 0 {
+				fixedConst += m.costs[j]
+			}
+		}
+		if lp.NumVars == 0 {
+			// Every variable fixed: evaluate the assignment directly.
+			obj, feasible := m.evalFixed(fixed)
+			if feasible && obj < incumbent-1e-7 {
+				incumbent = obj
+				sol.Found = true
+				sol.Objective = obj
+				sol.X = m.expand(nil, fixed)
+			}
+			return
+		}
+		x, obj, st, err := SolveLP(lp)
+		if err != nil {
+			// Structural errors cannot occur for rows built here.
+			panic("mip: internal LP build error: " + err.Error())
+		}
+		obj += fixedConst
+		switch st {
+		case LPInfeasible:
+			return
+		case LPUnbounded:
+			unbounded = true
+			return
+		case LPIterLimit:
+			hitLimit = true
+			return
+		}
+		if obj >= incumbent-1e-7 {
+			return // bound: cannot improve
+		}
+		branch := m.pickBranch(x, fixed)
+		if branch < 0 {
+			// Integral: new incumbent.
+			incumbent = obj
+			sol.Found = true
+			sol.Objective = obj
+			sol.X = m.expand(x, fixed)
+			return
+		}
+		// Explore the side suggested by the fractional value first.
+		first, second := int8(0), int8(1)
+		if x[m.compactIndex(branch, fixed)] > 0.5 {
+			first, second = 1, 0
+		}
+		for _, side := range []int8{first, second} {
+			if hitLimit || unbounded {
+				return
+			}
+			fixed[branch] = side
+			rec()
+			fixed[branch] = -1
+		}
+	}
+	rec()
+
+	switch {
+	case unbounded:
+		sol.Status = Unbounded
+	case hitLimit:
+		sol.Status = NodeLimit
+	case sol.Found:
+		sol.Status = Optimal
+	default:
+		sol.Status = Infeasible
+	}
+	return sol, nil
+}
+
+// evalFixed evaluates objective and feasibility of a fully fixed assignment.
+func (m *Model) evalFixed(fixed []int8) (obj float64, feasible bool) {
+	for j, c := range m.costs {
+		obj += c * float64(fixed[j])
+	}
+	for r, row := range m.rows {
+		lhs := 0.0
+		for k, j := range row.idx {
+			lhs += row.val[k] * float64(fixed[j])
+		}
+		switch m.senses[r] {
+		case LE:
+			if lhs > m.rhs[r]+1e-9 {
+				return 0, false
+			}
+		case GE:
+			if lhs < m.rhs[r]-1e-9 {
+				return 0, false
+			}
+		case EQ:
+			if math.Abs(lhs-m.rhs[r]) > 1e-9 {
+				return 0, false
+			}
+		}
+	}
+	return obj, true
+}
+
+// buildLP materializes the LP relaxation under the current fixings:
+// fixed binaries are substituted out, remaining binaries get 0 <= x <= 1.
+func (m *Model) buildLP(fixed []int8) *LP {
+	// Map model variable -> compact LP column.
+	col := make([]int, m.NumVars())
+	n := 0
+	for j := range col {
+		if m.kinds[j] == Binary && fixed[j] >= 0 {
+			col[j] = -1
+		} else {
+			col[j] = n
+			n++
+		}
+	}
+	lp := &LP{NumVars: n, Cost: make([]float64, n)}
+	for j, c := range m.costs {
+		if col[j] >= 0 {
+			lp.Cost[col[j]] = c
+		}
+	}
+	for r, row := range m.rows {
+		dense := make([]float64, n)
+		rhs := m.rhs[r]
+		for k, j := range row.idx {
+			if col[j] >= 0 {
+				dense[col[j]] += row.val[k]
+			} else {
+				rhs -= row.val[k] * float64(fixed[j])
+			}
+		}
+		lp.Rows = append(lp.Rows, dense)
+		lp.Senses = append(lp.Senses, m.senses[r])
+		lp.RHS = append(lp.RHS, rhs)
+	}
+	// Binary upper bounds for unfixed binaries.
+	for j, k := range m.kinds {
+		if k == Binary && col[j] >= 0 {
+			dense := make([]float64, n)
+			dense[col[j]] = 1
+			lp.Rows = append(lp.Rows, dense)
+			lp.Senses = append(lp.Senses, LE)
+			lp.RHS = append(lp.RHS, 1)
+		}
+	}
+	return lp
+}
+
+// compactIndex maps a model variable to its column in the LP built under the
+// given fixings. The variable must be unfixed.
+func (m *Model) compactIndex(j int, fixed []int8) int {
+	n := 0
+	for i := 0; i < j; i++ {
+		if !(m.kinds[i] == Binary && fixed[i] >= 0) {
+			n++
+		}
+	}
+	return n
+}
+
+// pickBranch returns the unfixed binary with the most fractional LP value,
+// or -1 if all binaries are integral.
+func (m *Model) pickBranch(x []float64, fixed []int8) int {
+	best := -1
+	bestFrac := 1e-6
+	n := 0
+	for j := range m.kinds {
+		if m.kinds[j] == Binary && fixed[j] >= 0 {
+			continue
+		}
+		if m.kinds[j] == Binary {
+			v := x[n]
+			frac := math.Min(v, 1-v)
+			if frac > bestFrac {
+				bestFrac = frac
+				best = j
+			}
+		}
+		n++
+	}
+	return best
+}
+
+// expand reconstitutes a full-length solution vector from a compact LP
+// solution plus the fixings, rounding binaries.
+func (m *Model) expand(x []float64, fixed []int8) []float64 {
+	out := make([]float64, m.NumVars())
+	n := 0
+	for j := range out {
+		if m.kinds[j] == Binary && fixed[j] >= 0 {
+			out[j] = float64(fixed[j])
+			continue
+		}
+		v := x[n]
+		n++
+		if m.kinds[j] == Binary {
+			v = math.Round(v)
+		}
+		out[j] = v
+	}
+	return out
+}
+
+// String summarizes the model for diagnostics.
+func (m *Model) String() string {
+	nb := 0
+	for _, k := range m.kinds {
+		if k == Binary {
+			nb++
+		}
+	}
+	return fmt.Sprintf("mip.Model{vars: %d (%d binary), constraints: %d}", m.NumVars(), nb, len(m.rows))
+}
+
+// Names returns variable names sorted by index; used in tests/diagnostics.
+func (m *Model) Names() []string {
+	out := append([]string(nil), m.names...)
+	sort.SliceStable(out, func(i, j int) bool { return false }) // keep order; defensive copy only
+	return out
+}

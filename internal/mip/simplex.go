@@ -1,0 +1,421 @@
+// Package mip is a small exact mixed-integer programming solver: a dense
+// two-phase primal simplex for the LP relaxations and depth-first branch &
+// bound over binary variables. It stands in for the commercial "traditional
+// solvers" the paper applies to its mixed-integer formulation (§III-A); the
+// per-request scheduling models are small (tens of binaries), well within
+// range of a dense tableau implementation.
+package mip
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sense is the relational operator of a linear constraint.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // <=
+	GE              // >=
+	EQ              // ==
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Sense(%d)", int8(s))
+}
+
+// LP is a linear program in the form
+//
+//	minimize  c·x
+//	subject to  A x (<=,>=,==) b,  x >= 0.
+//
+// Rows are stored densely.
+type LP struct {
+	NumVars int
+	Cost    []float64   // len NumVars
+	Rows    [][]float64 // each len NumVars
+	Senses  []Sense
+	RHS     []float64
+	// Deadline, when non-zero, aborts the solve with LPIterLimit once
+	// exceeded (checked every few hundred pivots).
+	Deadline time.Time
+}
+
+// LPStatus reports the outcome of an LP solve.
+type LPStatus int8
+
+// LP solve outcomes.
+const (
+	LPOptimal LPStatus = iota
+	LPInfeasible
+	LPUnbounded
+	LPIterLimit
+)
+
+func (s LPStatus) String() string {
+	switch s {
+	case LPOptimal:
+		return "optimal"
+	case LPInfeasible:
+		return "infeasible"
+	case LPUnbounded:
+		return "unbounded"
+	case LPIterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("LPStatus(%d)", int8(s))
+}
+
+const (
+	eps       = 1e-9
+	pivotEps  = 1e-7 // minimum magnitude for a pivot element
+	iterLimit = 50000
+)
+
+// ErrBadModel reports a structurally invalid LP.
+var ErrBadModel = errors.New("mip: malformed model")
+
+// SolveLP solves the LP with a two-phase dense tableau simplex.
+// On LPOptimal it returns the variable values and the objective.
+func SolveLP(lp *LP) (x []float64, obj float64, status LPStatus, err error) {
+	if err := validateLP(lp); err != nil {
+		return nil, 0, LPInfeasible, err
+	}
+	t, err := newTableau(lp)
+	if err != nil {
+		return nil, 0, LPInfeasible, err
+	}
+	t.deadline = lp.Deadline
+
+	// Phase 1: minimize the sum of artificial variables.
+	if t.nArtificial > 0 {
+		t.setPhase1Objective()
+		st := t.iterate()
+		if st == LPIterLimit {
+			return nil, 0, LPIterLimit, nil
+		}
+		if t.objectiveValue() > 1e-6 {
+			return nil, 0, LPInfeasible, nil
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase 2: original objective.
+	t.setPhase2Objective(lp.Cost)
+	st := t.iterate()
+	switch st {
+	case LPUnbounded:
+		return nil, 0, LPUnbounded, nil
+	case LPIterLimit:
+		return nil, 0, LPIterLimit, nil
+	}
+	x = t.solution(lp.NumVars)
+	return x, t.objectiveValue(), LPOptimal, nil
+}
+
+func validateLP(lp *LP) error {
+	if lp.NumVars <= 0 {
+		return fmt.Errorf("%w: NumVars=%d", ErrBadModel, lp.NumVars)
+	}
+	if len(lp.Cost) != lp.NumVars {
+		return fmt.Errorf("%w: cost length %d != NumVars %d", ErrBadModel, len(lp.Cost), lp.NumVars)
+	}
+	if len(lp.Rows) != len(lp.Senses) || len(lp.Rows) != len(lp.RHS) {
+		return fmt.Errorf("%w: rows/senses/rhs lengths %d/%d/%d", ErrBadModel, len(lp.Rows), len(lp.Senses), len(lp.RHS))
+	}
+	for i, r := range lp.Rows {
+		if len(r) != lp.NumVars {
+			return fmt.Errorf("%w: row %d has %d coefficients, want %d", ErrBadModel, i, len(r), lp.NumVars)
+		}
+	}
+	return nil
+}
+
+// tableau is a dense simplex tableau stored flat in row-major order for
+// cache efficiency. Columns: structural variables, then slack/surplus, then
+// artificial, then RHS. The last row is the objective.
+type tableau struct {
+	m, n        int // constraint rows, total variable columns
+	nStruct     int
+	nArtificial int
+	artStart    int       // column index of first artificial
+	a           []float64 // (m+1) x (n+1) flat; row m is the cost row, col n is RHS
+	stride      int       // n+1
+	basis       []int     // basic variable per row
+	iters       int
+	deadline    time.Time
+}
+
+// row returns the slice view of row i.
+func (t *tableau) row(i int) []float64 { return t.a[i*t.stride : (i+1)*t.stride] }
+
+func newTableau(lp *LP) (*tableau, error) {
+	m := len(lp.Rows)
+	// Count extra columns.
+	nSlack := 0
+	nArt := 0
+	// Normalize to b >= 0 first, then decide columns.
+	rows := make([][]float64, m)
+	senses := make([]Sense, m)
+	rhs := make([]float64, m)
+	for i := range lp.Rows {
+		rows[i] = append([]float64(nil), lp.Rows[i]...)
+		senses[i] = lp.Senses[i]
+		rhs[i] = lp.RHS[i]
+		if rhs[i] < 0 {
+			for j := range rows[i] {
+				rows[i][j] = -rows[i][j]
+			}
+			rhs[i] = -rhs[i]
+			switch senses[i] {
+			case LE:
+				senses[i] = GE
+			case GE:
+				senses[i] = LE
+			}
+		}
+		switch senses[i] {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	n := lp.NumVars + nSlack + nArt
+	t := &tableau{
+		m:           m,
+		n:           n,
+		nStruct:     lp.NumVars,
+		nArtificial: nArt,
+		artStart:    lp.NumVars + nSlack,
+		basis:       make([]int, m),
+	}
+	t.stride = n + 1
+	t.a = make([]float64, (m+1)*t.stride)
+	slackCol := lp.NumVars
+	artCol := t.artStart
+	for i := 0; i < m; i++ {
+		ri := t.row(i)
+		copy(ri, rows[i])
+		ri[n] = rhs[i]
+		switch senses[i] {
+		case LE:
+			ri[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			ri[slackCol] = -1
+			slackCol++
+			ri[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			ri[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+	return t, nil
+}
+
+// setPhase1Objective installs minimize(sum of artificials) and prices it out
+// against the starting basis.
+func (t *tableau) setPhase1Objective() {
+	obj := t.row(t.m)
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := t.artStart; j < t.n; j++ {
+		obj[j] = 1
+	}
+	// Price out basic artificials: subtract their rows from the cost row.
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] >= t.artStart {
+			ri := t.row(i)
+			for j := range obj {
+				obj[j] -= ri[j]
+			}
+		}
+	}
+}
+
+// setPhase2Objective installs the original cost vector (artificial columns
+// get a prohibitive cost so they never re-enter) and prices it out.
+func (t *tableau) setPhase2Objective(cost []float64) {
+	obj := t.row(t.m)
+	for j := range obj {
+		obj[j] = 0
+	}
+	copy(obj, cost)
+	for j := t.artStart; j < t.n; j++ {
+		obj[j] = 1e30 // block artificials from entering
+	}
+	for i := 0; i < t.m; i++ {
+		c := obj[t.basis[i]]
+		if c != 0 {
+			ri := t.row(i)
+			for j := range obj {
+				obj[j] -= c * ri[j]
+			}
+		}
+	}
+}
+
+// objectiveValue returns the current objective (the tableau stores its
+// negation in the RHS of the cost row).
+func (t *tableau) objectiveValue() float64 { return -t.a[t.m*t.stride+t.n] }
+
+// iterate runs simplex pivots until optimality, unboundedness, or the
+// iteration limit. Dantzig pricing initially, switching to Bland's rule to
+// guarantee termination if cycling is suspected.
+func (t *tableau) iterate() LPStatus {
+	blandAfter := 20 * (t.m + t.n)
+	for {
+		t.iters++
+		if t.iters > iterLimit {
+			return LPIterLimit
+		}
+		if t.iters%256 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+			return LPIterLimit
+		}
+		useBland := t.iters > blandAfter
+		col := t.chooseColumn(useBland)
+		if col < 0 {
+			return LPOptimal
+		}
+		row := t.ratioTest(col, useBland)
+		if row < 0 {
+			return LPUnbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+func (t *tableau) chooseColumn(bland bool) int {
+	obj := t.row(t.m)
+	if bland {
+		for j := 0; j < t.n; j++ {
+			if obj[j] < -eps {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -eps
+	for j := 0; j < t.n; j++ {
+		if obj[j] < bestVal {
+			bestVal = obj[j]
+			best = j
+		}
+	}
+	return best
+}
+
+func (t *tableau) ratioTest(col int, bland bool) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		a := t.a[i*t.stride+col]
+		if a <= pivotEps {
+			continue
+		}
+		ratio := t.a[i*t.stride+t.n] / a
+		if ratio < bestRatio-eps {
+			bestRatio = ratio
+			best = i
+		} else if ratio < bestRatio+eps && best >= 0 {
+			// Tie-break: Bland (lowest basis index) for termination,
+			// otherwise largest pivot for stability.
+			if bland {
+				if t.basis[i] < t.basis[best] {
+					best = i
+				}
+			} else if a > t.a[best*t.stride+col] {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+func (t *tableau) pivot(row, col int) {
+	r := t.row(row)
+	inv := 1 / r[col]
+	for j := range r {
+		r[j] *= inv
+	}
+	r[col] = 1 // exact
+	for i := 0; i <= t.m; i++ {
+		if i == row {
+			continue
+		}
+		ri := t.row(i)
+		f := ri[col]
+		if f == 0 {
+			continue
+		}
+		for j := range ri {
+			ri[j] -= f * r[j]
+		}
+		ri[col] = 0 // exact
+	}
+	t.basis[row] = col
+}
+
+// driveOutArtificials pivots basic artificial variables (at value zero after
+// a feasible phase 1) out of the basis where possible.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		// Find any non-artificial column with a usable pivot in row i.
+		pivoted := false
+		ri := t.row(i)
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(ri[j]) > pivotEps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; zero it so it can't affect later pivots.
+			for j := range ri {
+				ri[j] = 0
+			}
+			// Keep the artificial as formal basis of the null row.
+		}
+	}
+}
+
+// solution extracts the values of the first k structural variables.
+func (t *tableau) solution(k int) []float64 {
+	x := make([]float64, k)
+	for i := 0; i < t.m; i++ {
+		if b := t.basis[i]; b < k {
+			x[b] = t.a[i*t.stride+t.n]
+		}
+	}
+	// Clamp small negatives from roundoff.
+	for i := range x {
+		if x[i] < 0 && x[i] > -1e-7 {
+			x[i] = 0
+		}
+	}
+	return x
+}

@@ -1,0 +1,151 @@
+package roadnet
+
+import "math"
+
+// VertexLocator answers nearest-vertex queries over a fixed Graph using a
+// uniform cell grid. It is the snapping step of the paper's simulation
+// framework ("starting and destination trip coordinates are pre-mapped to
+// the closest vertex in the graph", §VI).
+//
+// VertexLocator is immutable after construction and safe for concurrent use.
+type VertexLocator struct {
+	g          *Graph
+	minX, minY float64
+	cellSize   float64
+	cols, rows int
+	cells      [][]VertexID
+}
+
+// NewVertexLocator builds a locator with approximately targetPerCell
+// vertices per grid cell (clamped to at least 1).
+func NewVertexLocator(g *Graph, targetPerCell int) *VertexLocator {
+	if targetPerCell < 1 {
+		targetPerCell = 1
+	}
+	minX, minY, maxX, maxY := g.Bounds()
+	w := maxX - minX
+	h := maxY - minY
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	nCells := g.N()/targetPerCell + 1
+	// Choose a roughly square cell layout covering the bounding box.
+	aspect := w / h
+	cols := int(math.Max(1, math.Round(math.Sqrt(float64(nCells)*aspect))))
+	rows := (nCells + cols - 1) / cols
+	if rows < 1 {
+		rows = 1
+	}
+	cellSize := math.Max(w/float64(cols), h/float64(rows))
+	cols = int(w/cellSize) + 1
+	rows = int(h/cellSize) + 1
+
+	l := &VertexLocator{
+		g:        g,
+		minX:     minX,
+		minY:     minY,
+		cellSize: cellSize,
+		cols:     cols,
+		rows:     rows,
+		cells:    make([][]VertexID, cols*rows),
+	}
+	for v := 0; v < g.N(); v++ {
+		c := l.cellOf(g.xs[v], g.ys[v])
+		l.cells[c] = append(l.cells[c], VertexID(v))
+	}
+	return l
+}
+
+func (l *VertexLocator) cellOf(x, y float64) int {
+	cx := int((x - l.minX) / l.cellSize)
+	cy := int((y - l.minY) / l.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= l.cols {
+		cx = l.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= l.rows {
+		cy = l.rows - 1
+	}
+	return cy*l.cols + cx
+}
+
+// Nearest returns the vertex closest to (x, y) in Euclidean distance.
+// It panics only if the underlying graph has no vertices.
+func (l *VertexLocator) Nearest(x, y float64) VertexID {
+	if l.g.N() == 0 {
+		panic("roadnet: Nearest on empty graph")
+	}
+	// Clamp the starting cell into the grid so queries far outside the
+	// bounding box still reach populated cells; the ring lower bound
+	// remains valid because every ring-r cell is at least (r-1) cell
+	// widths from the query point.
+	cx := int((x - l.minX) / l.cellSize)
+	cy := int((y - l.minY) / l.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= l.cols {
+		cx = l.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= l.rows {
+		cy = l.rows - 1
+	}
+
+	best := VertexID(-1)
+	bestD := math.Inf(1)
+	// Expand rings of cells until the best candidate cannot be beaten by
+	// anything in an unexplored ring.
+	maxRing := l.cols
+	if l.rows > maxRing {
+		maxRing = l.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		if best >= 0 {
+			// Any vertex in a cell at Chebyshev ring r is at least
+			// (r-1)*cellSize away from the query point.
+			if float64(ring-1)*l.cellSize > bestD {
+				break
+			}
+		}
+		l.scanRing(cx, cy, ring, x, y, &best, &bestD)
+	}
+	return best
+}
+
+func (l *VertexLocator) scanRing(cx, cy, ring int, x, y float64, best *VertexID, bestD *float64) {
+	scan := func(gx, gy int) {
+		if gx < 0 || gx >= l.cols || gy < 0 || gy >= l.rows {
+			return
+		}
+		for _, v := range l.cells[gy*l.cols+gx] {
+			d := math.Hypot(l.g.xs[v]-x, l.g.ys[v]-y)
+			if d < *bestD {
+				*bestD = d
+				*best = v
+			}
+		}
+	}
+	if ring == 0 {
+		scan(cx, cy)
+		return
+	}
+	for dx := -ring; dx <= ring; dx++ {
+		scan(cx+dx, cy-ring)
+		scan(cx+dx, cy+ring)
+	}
+	for dy := -ring + 1; dy <= ring-1; dy++ {
+		scan(cx-ring, cy+dy)
+		scan(cx+ring, cy+dy)
+	}
+}

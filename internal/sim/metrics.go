@@ -1,0 +1,193 @@
+// Package sim is the simulation framework of the paper's evaluation (§VI):
+// it replays a stream of trip requests against a fleet of servers moving on
+// the road network, matching each request to the vehicle that can serve it
+// at minimum augmented-schedule cost, and measures the matching performance
+// (ACRT and ART) together with service statistics.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Metrics aggregates the measurements the paper reports.
+type Metrics struct {
+	Requests int // requests submitted
+	Matched  int // requests assigned to a server
+	Rejected int // requests no server could satisfy
+
+	// ACRT (average customer response time): total wall-clock time spent
+	// completing the search for the best vehicle across all requests
+	// (paper: "the average time required to complete the search for the
+	// minimum time needed to satisfy a new request").
+	acrtTotal time.Duration
+
+	// ART (average response time) bucketed by the number of requests
+	// already scheduled on the candidate vehicle (paper: "we calculate
+	// ART separately for different current request sizes").
+	artTotal map[int]time.Duration
+	artCount map[int]int
+
+	TrialCalls    int // scheduling trials performed
+	TrialFailures int // trials that found no valid augmented schedule
+	OverBudget    int // tree trials aborted by the candidate-size budget
+	// (the paper's 3 GB cutoff analogue)
+
+	// Service statistics.
+	Completed        int     // trips dropped off
+	TotalWaitMeters  float64 // sum of pickup distances (request -> pickup)
+	TotalRideMeters  float64 // sum of in-vehicle distances
+	TotalShortestLen float64 // sum of d(s, e) over completed trips
+	Violations       int     // service-guarantee violations (must stay 0)
+
+	// Occupancy (paper §VI-B, unlimited capacity): per-server peak
+	// simultaneous passengers.
+	PeakOccupancy []int
+
+	TotalVehicleMeters float64 // fleet distance traveled
+	TreeNodesMax       int     // largest committed kinetic tree observed
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		artTotal: make(map[int]time.Duration),
+		artCount: make(map[int]int),
+	}
+}
+
+// ACRT returns the mean per-request response time.
+func (m *Metrics) ACRT() time.Duration {
+	if m.Requests == 0 {
+		return 0
+	}
+	return m.acrtTotal / time.Duration(m.Requests)
+}
+
+// ART returns the mean per-trial scheduling time for vehicles that had
+// `active` requests scheduled, and the number of samples.
+func (m *Metrics) ART(active int) (time.Duration, int) {
+	c := m.artCount[active]
+	if c == 0 {
+		return 0, 0
+	}
+	return m.artTotal[active] / time.Duration(c), c
+}
+
+// ARTBuckets returns the sorted list of active-request sizes observed.
+func (m *Metrics) ARTBuckets() []int {
+	out := make([]int, 0, len(m.artCount))
+	for k := range m.artCount {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (m *Metrics) recordACRT(d time.Duration) { m.acrtTotal += d }
+
+func (m *Metrics) recordART(active int, d time.Duration) {
+	m.artTotal[active] += d
+	m.artCount[active]++
+	m.TrialCalls++
+}
+
+// OccupancyStats summarizes per-server peak occupancy as the paper does:
+// the maximum across servers, the mean, and the mean over the top 20% most
+// filled servers.
+func (m *Metrics) OccupancyStats() (max int, mean, top20Mean float64) {
+	if len(m.PeakOccupancy) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]int(nil), m.PeakOccupancy...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	max = sorted[0]
+	sum := 0
+	for _, v := range sorted {
+		sum += v
+	}
+	mean = float64(sum) / float64(len(sorted))
+	k := (len(sorted) + 4) / 5 // ceil(20%)
+	tsum := 0
+	for _, v := range sorted[:k] {
+		tsum += v
+	}
+	top20Mean = float64(tsum) / float64(k)
+	return max, mean, top20Mean
+}
+
+// MeanDetourFactor returns the mean of (actual ride length / shortest
+// length) over completed trips, a service-quality indicator.
+func (m *Metrics) MeanDetourFactor() float64 {
+	if m.TotalShortestLen == 0 {
+		return 0
+	}
+	return m.TotalRideMeters / m.TotalShortestLen
+}
+
+// String renders a one-screen summary.
+func (m *Metrics) String() string {
+	max, mean, top := m.OccupancyStats()
+	return fmt.Sprintf(
+		"requests=%d matched=%d rejected=%d completed=%d violations=%d acrt=%v trials=%d occupancy(max/mean/top20)=%d/%.2f/%.2f detour=%.3f",
+		m.Requests, m.Matched, m.Rejected, m.Completed, m.Violations,
+		m.ACRT(), m.TrialCalls, max, mean, top, m.MeanDetourFactor())
+}
+
+// Snapshot is the JSON-serializable view of Metrics.
+type Snapshot struct {
+	Requests      int         `json:"requests"`
+	Matched       int         `json:"matched"`
+	Rejected      int         `json:"rejected"`
+	Completed     int         `json:"completed"`
+	Violations    int         `json:"violations"`
+	ACRTNanos     int64       `json:"acrt_ns"`
+	TrialCalls    int         `json:"trial_calls"`
+	TrialFailures int         `json:"trial_failures"`
+	OverBudget    int         `json:"over_budget"`
+	ART           []ARTBucket `json:"art"`
+	WaitMeters    float64     `json:"total_wait_meters"`
+	RideMeters    float64     `json:"total_ride_meters"`
+	DetourFactor  float64     `json:"mean_detour_factor"`
+	VehicleMeters float64     `json:"total_vehicle_meters"`
+	OccupancyMax  int         `json:"occupancy_max"`
+	OccupancyMean float64     `json:"occupancy_mean"`
+	OccupancyTop  float64     `json:"occupancy_top20_mean"`
+	TreeNodesMax  int         `json:"tree_nodes_max"`
+}
+
+// ARTBucket is one ART histogram bucket in a Snapshot.
+type ARTBucket struct {
+	Requests int   `json:"requests"`
+	MeanNs   int64 `json:"mean_ns"`
+	Samples  int   `json:"samples"`
+}
+
+// Snapshot converts the metrics into their serializable form.
+func (m *Metrics) Snapshot() Snapshot {
+	max, mean, top := m.OccupancyStats()
+	s := Snapshot{
+		Requests:      m.Requests,
+		Matched:       m.Matched,
+		Rejected:      m.Rejected,
+		Completed:     m.Completed,
+		Violations:    m.Violations,
+		ACRTNanos:     m.ACRT().Nanoseconds(),
+		TrialCalls:    m.TrialCalls,
+		TrialFailures: m.TrialFailures,
+		OverBudget:    m.OverBudget,
+		WaitMeters:    m.TotalWaitMeters,
+		RideMeters:    m.TotalRideMeters,
+		DetourFactor:  m.MeanDetourFactor(),
+		VehicleMeters: m.TotalVehicleMeters,
+		OccupancyMax:  max,
+		OccupancyMean: mean,
+		OccupancyTop:  top,
+		TreeNodesMax:  m.TreeNodesMax,
+	}
+	for _, b := range m.ARTBuckets() {
+		d, n := m.ART(b)
+		s.ART = append(s.ART, ARTBucket{Requests: b, MeanNs: d.Nanoseconds(), Samples: n})
+	}
+	return s
+}

@@ -1,0 +1,453 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/sp"
+	"repro/internal/spatial"
+)
+
+// Algorithm selects the matching algorithm a fleet runs.
+type Algorithm int
+
+// Matching algorithms (paper §VI-A/B).
+const (
+	AlgoTreeBasic Algorithm = iota
+	AlgoTreeSlack
+	AlgoTreeHotspot
+	AlgoBruteForce
+	AlgoBranchBound
+	AlgoMIP
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoTreeBasic:
+		return "ktree"
+	case AlgoTreeSlack:
+		return "ktree-slack"
+	case AlgoTreeHotspot:
+		return "ktree-hotspot"
+	case AlgoBruteForce:
+		return "bruteforce"
+	case AlgoBranchBound:
+		return "branchbound"
+	case AlgoMIP:
+		return "mip"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Request is one trip request submitted to the system. WaitSeconds and
+// Epsilon, when positive, override the fleet-wide constraints for this
+// request (the paper's individualized-constraint generalization, §I-A:
+// "our proposed algorithms can be easily generalized to individualized
+// waiting time and service constraints").
+type Request struct {
+	ID      int64
+	Time    float64 // seconds since simulation start
+	Pickup  roadnet.VertexID
+	Dropoff roadnet.VertexID
+
+	WaitSeconds float64 // per-request waiting constraint; 0 = fleet default
+	Epsilon     float64 // per-request service constraint; 0 = fleet default
+}
+
+// Config parameterizes a simulation run. Zero values select the defaults
+// noted per field.
+type Config struct {
+	Graph  *roadnet.Graph
+	Oracle sp.Oracle
+
+	Servers  int
+	Capacity int // max simultaneous passengers; 0 = unlimited
+
+	WaitSeconds float64 // waiting-time constraint w (default 600 = 10 min)
+	Epsilon     float64 // service constraint ε (default 0.2 = 20%)
+
+	Algorithm    Algorithm
+	HotspotTheta float64 // meters (AlgoTreeHotspot; default 300)
+	// LazyInvalidation defers kinetic-tree pruning on movement to the
+	// next request (paper §IV-A); applies to the tree algorithms only.
+	LazyInvalidation bool
+	MaxTreeNodes     int // candidate-tree size cap; 0 = 200000
+	MIPMaxNodes      int // MIP branch&bound node cap; 0 = solver default
+	// MIPTimeBudget bounds each MIP trial's wall time; the warm-started
+	// incumbent is returned on truncation (0 = 50ms; negative = unbounded).
+	MIPTimeBudget time.Duration
+
+	ReportInterval float64 // seconds between vehicle position reports (default 30)
+	CellSize       float64 // spatial-index cell size in meters (default 1000)
+
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.WaitSeconds == 0 {
+		out.WaitSeconds = 600
+	}
+	if out.Epsilon == 0 {
+		out.Epsilon = 0.2
+	}
+	if out.HotspotTheta == 0 {
+		out.HotspotTheta = 300
+	}
+	if out.MaxTreeNodes == 0 {
+		out.MaxTreeNodes = 200000
+	}
+	if out.ReportInterval == 0 {
+		out.ReportInterval = 30
+	}
+	if out.CellSize == 0 {
+		out.CellSize = 1000
+	}
+	if out.MIPTimeBudget == 0 {
+		out.MIPTimeBudget = 50 * time.Millisecond
+	}
+	return out
+}
+
+// Simulator replays a request stream against a fleet.
+//
+// Not safe for concurrent use: the matching path is single-threaded, as in
+// the paper's evaluation.
+type Simulator struct {
+	cfg        Config
+	graph      *roadnet.Graph
+	oracle     sp.Oracle
+	grid       *spatial.GridIndex
+	vehicles   []*vehicle
+	sched      core.Scheduler // stateless algorithms only
+	metrics    *Metrics
+	waitMeters float64
+	clock      float64
+	reports    reportQueue
+	candidates []spatial.ObjectID // scratch
+}
+
+// New creates a simulator with an idle fleet placed at random vertices
+// ("a vehicle is initialized to a random vertex in the city", §VI).
+func New(cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Graph == nil || cfg.Oracle == nil {
+		return nil, fmt.Errorf("sim: Graph and Oracle are required")
+	}
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("sim: need at least one server, got %d", cfg.Servers)
+	}
+	minX, minY, maxX, maxY := cfg.Graph.Bounds()
+	grid, err := spatial.NewGridIndex(minX, minY, maxX, maxY, cfg.CellSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:        cfg,
+		graph:      cfg.Graph,
+		oracle:     cfg.Oracle,
+		grid:       grid,
+		metrics:    newMetrics(),
+		waitMeters: cfg.WaitSeconds * roadnet.Speed,
+	}
+	switch cfg.Algorithm {
+	case AlgoBruteForce:
+		s.sched = core.NewBruteForce(cfg.Oracle)
+	case AlgoBranchBound:
+		s.sched = core.NewBranchBound(cfg.Oracle)
+	case AlgoMIP:
+		ms := core.NewMIPScheduler(cfg.Oracle, cfg.MIPMaxNodes)
+		if cfg.MIPTimeBudget > 0 {
+			ms.SetTimeBudget(cfg.MIPTimeBudget)
+		}
+		s.sched = ms
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := int32(cfg.Graph.N())
+	for i := 0; i < cfg.Servers; i++ {
+		v := &vehicle{
+			id:         i,
+			loc:        roadnet.VertexID(rng.Int31n(n)),
+			rng:        rand.New(rand.NewSource(cfg.Seed + int64(i) + 1)),
+			requestOdo: make(map[int64]float64),
+			pickupOdo:  make(map[int64]float64),
+		}
+		switch cfg.Algorithm {
+		case AlgoTreeBasic, AlgoTreeSlack, AlgoTreeHotspot:
+			opts := core.TreeOptions{
+				Capacity:         cfg.Capacity,
+				MaxTreeNodes:     cfg.MaxTreeNodes,
+				LazyInvalidation: cfg.LazyInvalidation,
+			}
+			if cfg.Algorithm != AlgoTreeBasic {
+				opts.Slack = true
+			}
+			if cfg.Algorithm == AlgoTreeHotspot {
+				opts.HotspotTheta = cfg.HotspotTheta
+			}
+			v.tree = core.NewTree(cfg.Oracle, v.loc, 0, opts)
+		default:
+			v.sched = s.sched
+		}
+		s.vehicles = append(s.vehicles, v)
+		x, y := cfg.Graph.Coord(v.loc)
+		s.grid.Insert(spatial.ObjectID(i), x, y)
+		// Stagger position reports across the fleet.
+		heap.Push(&s.reports, report{
+			due: rng.Float64() * cfg.ReportInterval,
+			veh: i,
+		})
+	}
+	return s, nil
+}
+
+// Metrics returns the accumulated measurements.
+func (s *Simulator) Metrics() *Metrics { return s.metrics }
+
+// report is a scheduled vehicle position report ("around 17,000 taxis
+// update their locations every 20 to 60 seconds", §IV).
+type report struct {
+	due float64
+	veh int
+}
+
+type reportQueue []report
+
+func (q reportQueue) Len() int           { return len(q) }
+func (q reportQueue) Less(i, j int) bool { return q[i].due < q[j].due }
+func (q reportQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *reportQueue) Push(x any)        { *q = append(*q, x.(report)) }
+func (q *reportQueue) Pop() any {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// drainReportsUntil advances all vehicles whose position report is due
+// before time t and refreshes their index entries.
+func (s *Simulator) drainReportsUntil(t float64) {
+	for len(s.reports) > 0 && s.reports[0].due <= t {
+		r := heap.Pop(&s.reports).(report)
+		v := s.vehicles[r.veh]
+		s.advanceTo(v, r.due)
+		x, y := s.graph.Coord(v.loc)
+		s.grid.Update(spatial.ObjectID(r.veh), x, y)
+		heap.Push(&s.reports, report{due: r.due + s.cfg.ReportInterval, veh: r.veh})
+	}
+}
+
+// Submit processes one request at its arrival time: it advances the clock,
+// finds candidate servers via the spatial index, trial-schedules the request
+// on each, and commits it to the cheapest (paper §I-A: "find the vehicle
+// that minimizes the overall trip cost for the augmented valid trip
+// schedule"). It reports whether the request was matched and to which
+// vehicle.
+func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
+	if req.Time < s.clock {
+		req.Time = s.clock // tolerate slightly out-of-order input
+	}
+	s.drainReportsUntil(req.Time)
+	s.clock = req.Time
+	s.metrics.Requests++
+
+	waitMeters := s.waitMeters
+	if req.WaitSeconds > 0 {
+		waitMeters = req.WaitSeconds * roadnet.Speed
+	}
+	eps := s.cfg.Epsilon
+	if req.Epsilon > 0 {
+		eps = req.Epsilon
+	}
+
+	px, py := s.graph.Coord(req.Pickup)
+	// Candidate radius: the waiting budget plus the maximum drift since a
+	// vehicle's last position report.
+	radius := waitMeters + s.cfg.ReportInterval*roadnet.Speed
+	s.candidates = s.grid.Within(s.candidates[:0], px, py, radius)
+	// The grid returns candidates in map order; sort for deterministic
+	// tie-breaking and accumulation across runs.
+	sort.Slice(s.candidates, func(i, j int) bool { return s.candidates[i] < s.candidates[j] })
+
+	started := time.Now()
+	bestCost := 0.0
+	bestVeh := -1
+	var bestTreeCand *core.Candidate
+	var bestResult core.Result
+	var bestTrip core.TripState
+
+	for _, id := range s.candidates {
+		v := s.vehicles[int(id)]
+		s.advanceTo(v, req.Time)
+		// Exact-location confirmation: skip vehicles whose true position
+		// is beyond the waiting budget (Euclidean lower-bounds network
+		// distance on generator graphs).
+		vx, vy := s.graph.Coord(v.loc)
+		if dx, dy := vx-px, vy-py; dx*dx+dy*dy > waitMeters*waitMeters {
+			continue
+		}
+		active := v.activeTrips()
+		trialStart := time.Now()
+		if v.isTree() {
+			trip, err := core.NewTripState(req.ID, req.Pickup, req.Dropoff, waitMeters, eps, v.odo, s.oracle)
+			if err != nil {
+				s.metrics.recordART(active, time.Since(trialStart))
+				continue
+			}
+			cand, ok, err := v.tree.TrialInsert(trip)
+			s.metrics.recordART(active, time.Since(trialStart))
+			if err != nil {
+				// Candidate tree exceeded the size budget: the paper's
+				// basic/slack variants "break off" here (Fig. 9c).
+				s.metrics.OverBudget++
+				s.metrics.TrialFailures++
+				continue
+			}
+			if !ok {
+				s.metrics.TrialFailures++
+				continue
+			}
+			if bestVeh < 0 || cand.Cost < bestCost {
+				bestCost = cand.Cost
+				bestVeh = int(id)
+				bestTreeCand = cand
+				bestTrip = trip
+			}
+		} else {
+			inst, trip, ok := s.buildInstance(v, req, waitMeters, eps)
+			if !ok {
+				s.metrics.recordART(active, time.Since(trialStart))
+				continue
+			}
+			res := v.sched.Schedule(inst)
+			s.metrics.recordART(active, time.Since(trialStart))
+			if !res.OK {
+				s.metrics.TrialFailures++
+				continue
+			}
+			if bestVeh < 0 || res.Cost < bestCost {
+				bestCost = res.Cost
+				bestVeh = int(id)
+				bestResult = res
+				bestTrip = trip
+			}
+		}
+	}
+	s.metrics.recordACRT(time.Since(started))
+
+	if bestVeh < 0 {
+		s.metrics.Rejected++
+		return false, -1
+	}
+	v := s.vehicles[bestVeh]
+	v.requestOdo[req.ID] = v.odo
+	if v.isTree() {
+		// TrialInsert results are only valid against the tree state they
+		// were computed from; if later trials were run on other vehicles
+		// this one's state is unchanged, so the candidate is still fresh.
+		v.tree.Commit(bestTreeCand)
+		if n := v.tree.Nodes(); n > s.metrics.TreeNodesMax {
+			s.metrics.TreeNodesMax = n
+		}
+	} else {
+		s.commitStateless(v, bestResult, bestTrip)
+	}
+	s.metrics.Matched++
+	return true, bestVeh
+}
+
+// buildInstance assembles the rescheduling instance for a stateless vehicle:
+// its active trips plus the new request, origin at its current position.
+func (s *Simulator) buildInstance(v *vehicle, req Request, waitMeters, eps float64) (*core.Instance, core.TripState, bool) {
+	trip, err := core.NewTripState(req.ID, req.Pickup, req.Dropoff, waitMeters, eps, v.odo, s.oracle)
+	if err != nil {
+		return nil, core.TripState{}, false
+	}
+	inst := &core.Instance{Origin: v.loc, Odo: v.odo, Capacity: s.cfg.Capacity}
+	for i := range v.trips {
+		if !v.done[i] {
+			inst.Trips = append(inst.Trips, v.trips[i])
+		}
+	}
+	inst.Trips = append(inst.Trips, trip)
+	return inst, trip, true
+}
+
+// commitStateless adopts the scheduler's order on the vehicle. The order's
+// trip indices reference the instance's compacted trip list; they are
+// remapped to the vehicle's slot array.
+func (s *Simulator) commitStateless(v *vehicle, res core.Result, trip core.TripState) {
+	slot := make([]int, 0, len(v.trips)+1)
+	for i := range v.trips {
+		if !v.done[i] {
+			slot = append(slot, i)
+		}
+	}
+	v.trips = append(v.trips, trip)
+	v.done = append(v.done, false)
+	slot = append(slot, len(v.trips)-1)
+	route := make([]core.Stop, len(res.Order))
+	for i, st := range res.Order {
+		st.Trip = slot[st.Trip]
+		route[i] = st
+	}
+	v.route = route
+	v.path = nil
+	v.pathPos = 0
+}
+
+// Run replays all requests (which must be sorted by time) and then lets the
+// fleet finish its committed schedules. It returns the metrics.
+func (s *Simulator) Run(reqs []Request) *Metrics {
+	for i := range reqs {
+		s.Submit(reqs[i])
+	}
+	s.Drain()
+	return s.metrics
+}
+
+// Drain advances every vehicle until its committed schedule is finished, so
+// completion statistics cover all matched requests.
+func (s *Simulator) Drain() {
+	const step = 3600 // seconds per drain round
+	for round := 0; round < 200; round++ {
+		busy := false
+		s.clock += step
+		for _, v := range s.vehicles {
+			if v.busy() {
+				s.advanceTo(v, s.clock)
+				busy = busy || v.busy()
+			}
+		}
+		if !busy {
+			break
+		}
+	}
+	for _, v := range s.vehicles {
+		s.metrics.PeakOccupancy = append(s.metrics.PeakOccupancy, v.peakOnboard)
+	}
+}
+
+// CheckInvariants verifies cross-cutting simulator invariants; tests call it
+// after runs. It returns an error describing the first violation found.
+func (s *Simulator) CheckInvariants() error {
+	if s.metrics.Violations > 0 {
+		return fmt.Errorf("sim: %d service-guarantee violations", s.metrics.Violations)
+	}
+	for _, v := range s.vehicles {
+		if v.isTree() {
+			if err := v.tree.Validate(); err != nil {
+				return fmt.Errorf("sim: vehicle %d: %w", v.id, err)
+			}
+		}
+		if s.cfg.Capacity > 0 && v.peakOnboard > s.cfg.Capacity {
+			return fmt.Errorf("sim: vehicle %d peak occupancy %d exceeds capacity %d", v.id, v.peakOnboard, s.cfg.Capacity)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// newIdleSim builds a 1-vehicle simulator for motion tests.
+func newIdleSim(t *testing.T, algo Algorithm) *Simulator {
+	t.Helper()
+	g, oracle, _ := testSetup(t, 1)
+	s, err := New(Config{Graph: g, Oracle: oracle, Servers: 1, Capacity: 4, Algorithm: algo, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCruiseConsumesBudget: an idle vehicle moves at roadnet.Speed and its
+// odometer tracks elapsed time.
+func TestCruiseConsumesBudget(t *testing.T) {
+	s := newIdleSim(t, AlgoTreeSlack)
+	v := s.vehicles[0]
+	s.advanceTo(v, 100) // 100 seconds = 1400 m of driving budget
+	if v.odo > 100*roadnet.Speed+1e-6 {
+		t.Fatalf("odometer %v exceeds budget %v", v.odo, 100*roadnet.Speed)
+	}
+	// Vertex-granular motion can leave at most one edge of slack.
+	maxEdge := 0.0
+	ts, ws := s.graph.Neighbors(v.loc)
+	for i := range ts {
+		maxEdge = math.Max(maxEdge, ws[i])
+	}
+	if v.odo < 100*roadnet.Speed-2*maxEdge {
+		t.Fatalf("odometer %v too small for 100s of cruising", v.odo)
+	}
+	if v.clock != 100 {
+		t.Fatalf("clock %v, want 100", v.clock)
+	}
+}
+
+// TestAdvanceToIsMonotonic: advancing to an earlier time is a no-op.
+func TestAdvanceToIsMonotonic(t *testing.T) {
+	s := newIdleSim(t, AlgoTreeSlack)
+	v := s.vehicles[0]
+	s.advanceTo(v, 50)
+	odo := v.odo
+	s.advanceTo(v, 10)
+	if v.odo != odo || v.clock != 50 {
+		t.Fatal("advanceTo went backwards")
+	}
+}
+
+// TestServeDeliversPassenger: submit one request near the vehicle and drive
+// until both stops are served; accounting must record the wait and ride.
+func TestServeDeliversPassenger(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoTreeSlack, AlgoBranchBound} {
+		s := newIdleSim(t, algo)
+		v := s.vehicles[0]
+		// Pick stops reachable well within the waiting budget.
+		pickup := v.loc
+		var dropoff roadnet.VertexID
+		for d := 0; d < s.graph.N(); d++ {
+			dd := s.oracle.Dist(pickup, roadnet.VertexID(d))
+			if dd > 1500 && dd < 4000 {
+				dropoff = roadnet.VertexID(d)
+				break
+			}
+		}
+		matched, veh := s.Submit(Request{ID: 7, Time: 1, Pickup: pickup, Dropoff: dropoff})
+		if !matched || veh != 0 {
+			t.Fatalf("%v: request not matched to the only vehicle (matched=%v veh=%d)", algo, matched, veh)
+		}
+		s.advanceTo(v, 4000) // plenty of time to finish
+		if v.busy() {
+			t.Fatalf("%v: vehicle still busy after an hour", algo)
+		}
+		if s.metrics.Completed != 1 {
+			t.Fatalf("%v: completed=%d", algo, s.metrics.Completed)
+		}
+		if s.metrics.Violations != 0 {
+			t.Fatalf("%v: violations=%d", algo, s.metrics.Violations)
+		}
+		if s.metrics.TotalRideMeters <= 0 || s.metrics.TotalWaitMeters < 0 {
+			t.Fatalf("%v: accounting wait=%v ride=%v", algo, s.metrics.TotalWaitMeters, s.metrics.TotalRideMeters)
+		}
+	}
+}
+
+// TestRejectedWhenNoServerInRange: a request far from the only (pinned)
+// vehicle must be rejected.
+func TestRejectedWhenNoServerInRange(t *testing.T) {
+	g, oracle, _ := testSetup(t, 1)
+	s, err := New(Config{
+		Graph: g, Oracle: oracle, Servers: 1, Capacity: 4,
+		Algorithm:   AlgoTreeSlack,
+		WaitSeconds: 30, // 420 m of waiting budget
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.vehicles[0]
+	// Find a pickup more than the waiting budget away from the vehicle.
+	var far roadnet.VertexID = -1
+	for d := 0; d < g.N(); d++ {
+		if oracle.Dist(v.loc, roadnet.VertexID(d)) > 2000 {
+			far = roadnet.VertexID(d)
+			break
+		}
+	}
+	if far < 0 {
+		t.Skip("graph too small")
+	}
+	ts, _ := g.Neighbors(far)
+	matched, _ := s.Submit(Request{ID: 1, Time: 0.1, Pickup: far, Dropoff: ts[0]})
+	if matched {
+		t.Fatal("matched a request outside every server's waiting range")
+	}
+	if s.metrics.Rejected != 1 {
+		t.Fatalf("rejected=%d", s.metrics.Rejected)
+	}
+}
+
+// TestMetricsARTBuckets checks bucket bookkeeping.
+func TestMetricsARTBuckets(t *testing.T) {
+	m := newMetrics()
+	m.recordART(0, 100)
+	m.recordART(0, 300)
+	m.recordART(2, 500)
+	if d, n := m.ART(0); n != 2 || d != 200 {
+		t.Fatalf("ART(0) = %v, %d", d, n)
+	}
+	if d, n := m.ART(1); n != 0 || d != 0 {
+		t.Fatalf("ART(1) = %v, %d", d, n)
+	}
+	buckets := m.ARTBuckets()
+	if len(buckets) != 2 || buckets[0] != 0 || buckets[1] != 2 {
+		t.Fatalf("buckets %v", buckets)
+	}
+	if m.TrialCalls != 3 {
+		t.Fatalf("TrialCalls=%d", m.TrialCalls)
+	}
+}
+
+// TestOccupancyStats checks the top-20% computation.
+func TestOccupancyStats(t *testing.T) {
+	m := newMetrics()
+	m.PeakOccupancy = []int{1, 1, 1, 1, 2, 2, 3, 3, 4, 17}
+	max, mean, top := m.OccupancyStats()
+	if max != 17 {
+		t.Fatalf("max=%d", max)
+	}
+	if math.Abs(mean-3.5) > 1e-9 {
+		t.Fatalf("mean=%v", mean)
+	}
+	// ceil(20% of 10) = 2 servers: 17 and 4 -> 10.5.
+	if math.Abs(top-10.5) > 1e-9 {
+		t.Fatalf("top20=%v", top)
+	}
+	empty := newMetrics()
+	if a, b, c := empty.OccupancyStats(); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty occupancy stats not zero")
+	}
+}
+
+// TestSnapshotRoundTrip checks the JSON view mirrors the metrics.
+func TestSnapshotRoundTrip(t *testing.T) {
+	m := newMetrics()
+	m.Requests = 10
+	m.Matched = 8
+	m.Rejected = 2
+	m.Completed = 8
+	m.recordACRT(1000)
+	m.recordART(3, 500)
+	m.PeakOccupancy = []int{2, 4}
+	s := m.Snapshot()
+	if s.Requests != 10 || s.Matched != 8 || s.Rejected != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.ACRTNanos != 100 {
+		t.Fatalf("acrt %d, want 100 (1000ns over 10 requests)", s.ACRTNanos)
+	}
+	if len(s.ART) != 1 || s.ART[0].Requests != 3 || s.ART[0].Samples != 1 {
+		t.Fatalf("art: %+v", s.ART)
+	}
+	if s.OccupancyMax != 4 || s.OccupancyMean != 3 {
+		t.Fatalf("occupancy: %+v", s)
+	}
+}
+
+// TestIndividualizedConstraints: a request with a personal waiting budget
+// larger than the fleet default can be matched where the default could not.
+func TestIndividualizedConstraints(t *testing.T) {
+	g, oracle, _ := testSetup(t, 1)
+	mk := func() *Simulator {
+		s, err := New(Config{
+			Graph: g, Oracle: oracle, Servers: 1, Capacity: 4,
+			Algorithm:   AlgoTreeSlack,
+			WaitSeconds: 60, // tight fleet default: 840 m
+			Seed:        3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := mk()
+	v := s.vehicles[0]
+	var far roadnet.VertexID = -1
+	for d := 0; d < g.N(); d++ {
+		dd := oracle.Dist(v.loc, roadnet.VertexID(d))
+		if dd > 2000 && dd < 5000 {
+			far = roadnet.VertexID(d)
+			break
+		}
+	}
+	if far < 0 {
+		t.Skip("graph too small")
+	}
+	ts, _ := g.Neighbors(far)
+	drop := ts[0]
+
+	if matched, _ := s.Submit(Request{ID: 1, Time: 0.1, Pickup: far, Dropoff: drop}); matched {
+		t.Fatal("default budget should not reach the far pickup")
+	}
+	s2 := mk()
+	matched, _ := s2.Submit(Request{
+		ID: 1, Time: 0.1, Pickup: far, Dropoff: drop,
+		WaitSeconds: 900, // 12.6 km personal budget
+	})
+	if !matched {
+		t.Fatal("personal waiting budget should make the far pickup reachable")
+	}
+	s2.Drain()
+	if s2.metrics.Violations != 0 {
+		t.Fatalf("violations=%d with individualized constraint", s2.metrics.Violations)
+	}
+}

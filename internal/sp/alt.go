@@ -1,0 +1,209 @@
+package sp
+
+import (
+	"repro/internal/roadnet"
+)
+
+// ALT is an A*-with-landmarks engine (Goldberg & Harrelson), one of the
+// goal-directed techniques the paper surveys for the shortest-path substrate
+// (§VI). Preprocessing selects k landmarks by farthest-point sampling and
+// runs one full Dijkstra per landmark; queries use the triangle-inequality
+// lower bound
+//
+//	h(v) = max_L |d(L, t) − d(L, v)|
+//
+// which is admissible and consistent on undirected graphs, typically
+// dominating the Euclidean heuristic on road networks with non-metric
+// weights.
+//
+// Not safe for concurrent use.
+type ALT struct {
+	g         *roadnet.Graph
+	landmarks []roadnet.VertexID
+	distTo    [][]float64 // per landmark: distance to every vertex
+
+	dist   []float64
+	parent []roadnet.VertexID
+	stamp  []uint32
+	epoch  uint32
+	heap   distHeap
+
+	active []int // landmark subset used for the current query
+}
+
+// NewALT builds an ALT engine with k landmarks (clamped to [1, 16]).
+func NewALT(g *roadnet.Graph, k int) *ALT {
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	n := g.N()
+	a := &ALT{
+		g:      g,
+		dist:   make([]float64, n),
+		parent: make([]roadnet.VertexID, n),
+		stamp:  make([]uint32, n),
+	}
+	if n == 0 {
+		return a
+	}
+	dij := NewDijkstra(g)
+	// Farthest-point sampling: start from vertex 0, then repeatedly take
+	// the vertex maximizing the minimum distance to chosen landmarks.
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = Inf
+	}
+	cur := roadnet.VertexID(0)
+	for len(a.landmarks) < k {
+		a.landmarks = append(a.landmarks, cur)
+		d := dij.All(cur)
+		a.distTo = append(a.distTo, d)
+		far := cur
+		farD := -1.0
+		for v := 0; v < n; v++ {
+			if d[v] < minDist[v] {
+				minDist[v] = d[v]
+			}
+			if minDist[v] != Inf && minDist[v] > farD {
+				farD = minDist[v]
+				far = roadnet.VertexID(v)
+			}
+		}
+		if far == cur {
+			break // graph exhausted (small or disconnected)
+		}
+		cur = far
+	}
+	return a
+}
+
+// NumLandmarks returns the number of landmarks actually selected.
+func (a *ALT) NumLandmarks() int { return len(a.landmarks) }
+
+// h returns the landmark lower bound on d(v, t) using the active subset.
+func (a *ALT) h(v, t roadnet.VertexID) float64 {
+	best := 0.0
+	for _, li := range a.active {
+		d := a.distTo[li]
+		if d[t] == Inf || d[v] == Inf {
+			continue
+		}
+		diff := d[t] - d[v]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > best {
+			best = diff
+		}
+	}
+	return best
+}
+
+// selectActive picks the landmarks giving the best bound for this
+// source/target pair (using all of them per relax would dominate runtime).
+func (a *ALT) selectActive(s, t roadnet.VertexID) {
+	a.active = a.active[:0]
+	type scored struct {
+		idx   int
+		bound float64
+	}
+	var best1, best2 scored
+	best1.idx, best2.idx = -1, -1
+	for i := range a.landmarks {
+		d := a.distTo[i]
+		if d[s] == Inf || d[t] == Inf {
+			continue
+		}
+		diff := d[t] - d[s]
+		if diff < 0 {
+			diff = -diff
+		}
+		switch {
+		case best1.idx < 0 || diff > best1.bound:
+			best2 = best1
+			best1 = scored{i, diff}
+		case best2.idx < 0 || diff > best2.bound:
+			best2 = scored{i, diff}
+		}
+	}
+	if best1.idx >= 0 {
+		a.active = append(a.active, best1.idx)
+	}
+	if best2.idx >= 0 {
+		a.active = append(a.active, best2.idx)
+	}
+}
+
+func (a *ALT) reset() {
+	a.epoch++
+	if a.epoch == 0 {
+		for i := range a.stamp {
+			a.stamp[i] = 0
+		}
+		a.epoch = 1
+	}
+	a.heap = a.heap[:0]
+}
+
+// Dist returns the shortest-path cost from u to v.
+func (a *ALT) Dist(u, v roadnet.VertexID) float64 {
+	d, _ := a.search(u, v)
+	return d
+}
+
+// Path returns a shortest path from u to v, or nil if unreachable.
+func (a *ALT) Path(u, v roadnet.VertexID) []roadnet.VertexID {
+	if u == v {
+		return []roadnet.VertexID{u}
+	}
+	if d, ok := a.search(u, v); !ok || d == Inf {
+		return nil
+	}
+	var rev []roadnet.VertexID
+	for at := v; at != -1; at = a.parent[at] {
+		rev = append(rev, at)
+		if at == u {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func (a *ALT) search(u, v roadnet.VertexID) (float64, bool) {
+	if u == v {
+		return 0, true
+	}
+	a.selectActive(u, v)
+	a.reset()
+	a.stamp[u] = a.epoch
+	a.dist[u] = 0
+	a.parent[u] = -1
+	a.heap.push(distItem{u, a.h(u, v)})
+	for len(a.heap) > 0 {
+		it := a.heap.pop()
+		g := a.dist[it.v]
+		if it.dist > g+a.h(it.v, v)+1e-9 {
+			continue // stale
+		}
+		if it.v == v {
+			return g, true
+		}
+		ts, ws := a.g.Neighbors(it.v)
+		for i, t := range ts {
+			ng := g + ws[i]
+			if a.stamp[t] != a.epoch || ng < a.dist[t] {
+				a.stamp[t] = a.epoch
+				a.dist[t] = ng
+				a.parent[t] = it.v
+				a.heap.push(distItem{t, ng + a.h(t, v)})
+			}
+		}
+	}
+	return Inf, false
+}

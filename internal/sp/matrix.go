@@ -1,0 +1,72 @@
+package sp
+
+import (
+	"fmt"
+
+	"repro/internal/roadnet"
+)
+
+// Matrix is an all-pairs shortest-path oracle backed by a dense distance
+// matrix computed with Floyd–Warshall. It is O(n³) to build and O(n²)
+// memory, so it is intended for tests (cross-validating the other engines)
+// and for tiny scheduling instances, not for city-scale graphs.
+//
+// Matrix.Dist is safe for concurrent use; Matrix.Path is not (it reuses a
+// Dijkstra engine).
+type Matrix struct {
+	g    *roadnet.Graph
+	n    int
+	dist []float64 // n*n row-major
+	dij  *Dijkstra // for Path reconstruction
+}
+
+// MaxMatrixVertices caps the graph size accepted by NewMatrix to avoid
+// accidental multi-gigabyte allocations.
+const MaxMatrixVertices = 4096
+
+// NewMatrix computes the all-pairs distance matrix of g.
+func NewMatrix(g *roadnet.Graph) (*Matrix, error) {
+	n := g.N()
+	if n > MaxMatrixVertices {
+		return nil, fmt.Errorf("sp: matrix oracle limited to %d vertices, got %d", MaxMatrixVertices, n)
+	}
+	m := &Matrix{g: g, n: n, dist: make([]float64, n*n), dij: NewDijkstra(g)}
+	for i := range m.dist {
+		m.dist[i] = Inf
+	}
+	for v := 0; v < n; v++ {
+		m.dist[v*n+v] = 0
+		ts, ws := g.Neighbors(roadnet.VertexID(v))
+		for i, t := range ts {
+			if ws[i] < m.dist[v*n+int(t)] {
+				m.dist[v*n+int(t)] = ws[i]
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		rowK := m.dist[k*n : k*n+n]
+		for i := 0; i < n; i++ {
+			dik := m.dist[i*n+k]
+			if dik == Inf {
+				continue
+			}
+			rowI := m.dist[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				if d := dik + rowK[j]; d < rowI[j] {
+					rowI[j] = d
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Dist returns the precomputed shortest-path cost from u to v.
+func (m *Matrix) Dist(u, v roadnet.VertexID) float64 {
+	return m.dist[int(u)*m.n+int(v)]
+}
+
+// Path returns a shortest path from u to v via an on-demand Dijkstra.
+func (m *Matrix) Path(u, v roadnet.VertexID) []roadnet.VertexID {
+	return m.dij.Path(u, v)
+}

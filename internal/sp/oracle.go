@@ -1,0 +1,49 @@
+// Package sp provides shortest-path engines over a roadnet.Graph: plain
+// Dijkstra, bidirectional Dijkstra, A*, an all-pairs matrix (for testing),
+// and a hub-labeling index (pruned landmark labeling), which is the
+// "state-of-art hub-labeling algorithm" the paper implements for its
+// evaluation (§VI).
+//
+// All engines implement the Oracle interface consumed by the scheduling
+// algorithms in internal/core. Distances are in meters, matching
+// roadnet.Graph edge weights; unreachable pairs report +Inf.
+package sp
+
+import (
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// Oracle answers shortest-path queries on a road network.
+//
+// Implementations in this package are NOT safe for concurrent use unless
+// stated otherwise: they reuse internal search buffers across queries, which
+// is what makes the simulator's millions of queries cheap. Wrap with one
+// oracle per goroutine if needed.
+type Oracle interface {
+	// Dist returns the shortest-path cost from u to v in meters,
+	// or +Inf if v is unreachable from u.
+	Dist(u, v roadnet.VertexID) float64
+	// Path returns the vertex sequence of a shortest path from u to v
+	// (inclusive of both endpoints), or nil if unreachable.
+	// Path(u, u) returns [u].
+	Path(u, v roadnet.VertexID) []roadnet.VertexID
+}
+
+// Inf is the distance reported for unreachable vertex pairs.
+var Inf = math.Inf(1)
+
+// pathCost sums the edge weights along a vertex sequence; used by tests and
+// by schedule validation helpers.
+func pathCost(g *roadnet.Graph, path []roadnet.VertexID) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		w, ok := g.EdgeWeight(path[i], path[i+1])
+		if !ok {
+			return Inf
+		}
+		total += w
+	}
+	return total
+}

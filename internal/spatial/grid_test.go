@@ -1,0 +1,155 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridIndexValidation(t *testing.T) {
+	if _, err := NewGridIndex(0, 0, 10, 10, 0); err == nil {
+		t.Fatal("expected error for zero cell size")
+	}
+	if _, err := NewGridIndex(10, 0, 0, 10, 5); err == nil {
+		t.Fatal("expected error for inverted bounds")
+	}
+}
+
+func TestInsertUpdateRemove(t *testing.T) {
+	g, err := NewGridIndex(0, 0, 1000, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Insert(1, 50, 50)
+	g.Insert(2, 950, 950)
+	if g.Len() != 2 {
+		t.Fatalf("Len=%d", g.Len())
+	}
+	got := g.Within(nil, 0, 0, 200)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Within corner: %v", got)
+	}
+	g.Update(1, 940, 940)
+	got = g.Within(nil, 1000, 1000, 200)
+	if len(got) != 2 {
+		t.Fatalf("after move: %v", got)
+	}
+	g.Remove(1)
+	g.Remove(99) // no-op
+	if g.Len() != 1 {
+		t.Fatalf("Len after remove=%d", g.Len())
+	}
+}
+
+func TestUpdateOnlyCrossingsMutate(t *testing.T) {
+	g, err := NewGridIndex(0, 0, 1000, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Insert(1, 50, 50)
+	g.Update(1, 60, 60)  // same cell
+	g.Update(1, 55, 58)  // same cell
+	g.Update(1, 250, 50) // crossing
+	updates, crossings := g.Stats()
+	if updates != 3 {
+		t.Fatalf("updates=%d", updates)
+	}
+	if crossings != 1 {
+		t.Fatalf("crossings=%d, want 1", crossings)
+	}
+}
+
+// TestWithinIsSuperset: Within must return every object truly within the
+// radius (it may return more — cell-level filtering).
+func TestWithinIsSuperset(t *testing.T) {
+	const size = 5000.0
+	g, err := NewGridIndex(0, 0, size, size, 333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	type pos struct{ x, y float64 }
+	objs := map[ObjectID]pos{}
+	for i := 0; i < 300; i++ {
+		p := pos{rng.Float64() * size, rng.Float64() * size}
+		objs[ObjectID(i)] = p
+		g.Insert(ObjectID(i), p.x, p.y)
+	}
+	f := func(qx16, qy16, r16 uint16) bool {
+		qx := float64(qx16) / 65535 * size
+		qy := float64(qy16) / 65535 * size
+		r := float64(r16) / 65535 * size / 2
+		got := map[ObjectID]bool{}
+		for _, id := range g.Within(nil, qx, qy, r) {
+			got[id] = true
+		}
+		for id, p := range objs {
+			if math.Hypot(p.x-qx, p.y-qy) <= r && !got[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithinOutOfBoundsQueries(t *testing.T) {
+	g, err := NewGridIndex(0, 0, 100, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Insert(1, 5, 5)
+	if got := g.Within(nil, -500, -500, 600); len(got) != 1 {
+		t.Fatalf("out-of-bounds query missed object: %v", got)
+	}
+	if got := g.Within(nil, 50, 50, -1); got != nil {
+		t.Fatalf("negative radius should return nothing, got %v", got)
+	}
+}
+
+func TestInsertExistingActsAsUpdate(t *testing.T) {
+	g, err := NewGridIndex(0, 0, 100, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Insert(1, 5, 5)
+	g.Insert(1, 95, 95)
+	if g.Len() != 1 {
+		t.Fatalf("Len=%d", g.Len())
+	}
+	if got := g.Within(nil, 95, 95, 5); len(got) != 1 {
+		t.Fatalf("object not at new position: %v", got)
+	}
+	if got := g.Within(nil, 5, 5, 5); len(got) != 0 {
+		t.Fatalf("stale entry at old position: %v", got)
+	}
+}
+
+func BenchmarkWithin(b *testing.B) {
+	g, _ := NewGridIndex(0, 0, 50000, 50000, 1000)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 10000; i++ {
+		g.Insert(ObjectID(i), rng.Float64()*50000, rng.Float64()*50000)
+	}
+	var buf []ObjectID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Within(buf[:0], rng.Float64()*50000, rng.Float64()*50000, 8400)
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	g, _ := NewGridIndex(0, 0, 50000, 50000, 1000)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		g.Insert(ObjectID(i), rng.Float64()*50000, rng.Float64()*50000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ObjectID(rng.Intn(10000))
+		g.Update(id, rng.Float64()*50000, rng.Float64()*50000)
+	}
+}
