@@ -14,11 +14,13 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/exp"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
@@ -321,6 +323,98 @@ func BenchmarkFig9c(b *testing.B) {
 			}
 			b.Run(name, func(b *testing.B) { simBenchmark(b, algo, 8, capacity) })
 		}
+	}
+}
+
+// BenchmarkDispatchThroughput: end-to-end matching throughput (requests/sec)
+// of the sharded dispatch engine on a ≥1000-vehicle fleet, by worker count.
+// workers=1 runs the fan-out inline on the caller and is the sequential
+// baseline; on a multicore host (GOMAXPROCS > 1) higher counts beat it,
+// which is the point of the sharding. The dense fleet makes every request
+// trial against hundreds of candidate vehicles, exactly the load the engine
+// parallelizes. The gomaxprocs metric is emitted so results from
+// single-CPU hosts — where goroutines time-slice and >1 worker can only
+// add overhead — are not misread as a scaling regression.
+func BenchmarkDispatchThroughput(b *testing.B) {
+	world, err := exp.BuildWorld(exp.WorldOptions{Scale: 0.008, Trips: 200, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func() sp.Oracle {
+		return cache.New(sp.NewBidirectional(world.Graph), world.Graph.N(), 1<<20, 1<<12)
+	}
+	const fleet = 1200
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := sim.Config{
+					Graph:     world.Graph,
+					Servers:   fleet,
+					Capacity:  4,
+					Algorithm: sim.AlgoTreeSlack,
+					Seed:      9,
+					Workers:   workers,
+				}
+				e, err := dispatch.New(cfg, factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for j := range world.Requests {
+					e.Submit(world.Requests[j])
+				}
+				b.StopTimer()
+				if m := e.Metrics(); m.Matched == 0 {
+					b.Fatal("nothing matched")
+				}
+				e.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(world.Requests))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}
+
+// BenchmarkDispatchBatchThroughput: the same fleet matched in 30-second
+// batch windows, the batching route to throughput of Simonetto et al.
+func BenchmarkDispatchBatchThroughput(b *testing.B) {
+	world, err := exp.BuildWorld(exp.WorldOptions{Scale: 0.008, Trips: 200, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func() sp.Oracle {
+		return cache.New(sp.NewBidirectional(world.Graph), world.Graph.N(), 1<<20, 1<<12)
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := sim.Config{
+					Graph:       world.Graph,
+					Servers:     1200,
+					Capacity:    4,
+					Algorithm:   sim.AlgoTreeSlack,
+					Seed:        9,
+					Workers:     workers,
+					BatchWindow: 30,
+				}
+				e, err := dispatch.New(cfg, factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for j := range world.Requests {
+					e.Enqueue(world.Requests[j])
+				}
+				e.Flush()
+				b.StopTimer()
+				e.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(world.Requests))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
 	}
 }
 

@@ -2,9 +2,12 @@
 //
 //	ridesim -scale 0.02 -servers 200 -algo ktree-slack -capacity 6
 //	ridesim -graph city.bin -trips trips.csv -algo branchbound
+//	ridesim -scale 0.02 -servers 2000 -workers 8 -batch 10
 //
 // Without -graph/-trips it generates a synthetic city and workload at the
-// requested scale.
+// requested scale. With -workers/-shards the sharded concurrent dispatch
+// engine (internal/dispatch) replaces the sequential matching loop; -batch
+// additionally matches requests in fixed windows instead of on arrival.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/dispatch"
 	"repro/internal/exp"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
@@ -38,10 +42,13 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		artOut    = flag.Bool("art", false, "print the ART-by-request-count breakdown")
 		jsonOut   = flag.Bool("json", false, "emit metrics as JSON instead of text")
+		workers   = flag.Int("workers", 0, "trial worker-pool size; >1 (or -shards/-batch) selects the concurrent dispatch engine")
+		shards    = flag.Int("shards", 0, "fleet partitions for the dispatch engine (default: one per worker)")
+		batchWin  = flag.Float64("batch", 0, "batch window in seconds; 0 matches each request on arrival")
 	)
 	flag.Parse()
 
-	if err := run(*scale, *graphPath, *tripsPath, *servers, *capacity, *waitMin, *epsPct, *algoName, *theta, *lazy, *oracleSel, *seed, *artOut, *jsonOut); err != nil {
+	if err := run(*scale, *graphPath, *tripsPath, *servers, *capacity, *waitMin, *epsPct, *algoName, *theta, *lazy, *oracleSel, *seed, *artOut, *jsonOut, *workers, *shards, *batchWin); err != nil {
 		fmt.Fprintln(os.Stderr, "ridesim:", err)
 		os.Exit(1)
 	}
@@ -80,7 +87,7 @@ func buildOracle(name string, g *roadnet.Graph) (sp.Oracle, error) {
 	return nil, fmt.Errorf("unknown oracle %q", name)
 }
 
-func run(scale float64, graphPath, tripsPath string, servers, capacity int, waitMin, epsPct float64, algoName string, theta float64, lazy bool, oracleSel string, seed int64, artOut, jsonOut bool) error {
+func run(scale float64, graphPath, tripsPath string, servers, capacity int, waitMin, epsPct float64, algoName string, theta float64, lazy bool, oracleSel string, seed int64, artOut, jsonOut bool, workers, shards int, batchWin float64) error {
 	algo, err := parseAlgo(algoName)
 	if err != nil {
 		return err
@@ -130,13 +137,8 @@ func run(scale float64, graphPath, tripsPath string, servers, capacity int, wait
 			g.N(), g.M(), len(reqs), servers, capacity, algo)
 	}
 
-	oracle, err := buildOracle(oracleSel, g)
-	if err != nil {
-		return err
-	}
-	s, err := sim.New(sim.Config{
+	cfg := sim.Config{
 		Graph:            g,
-		Oracle:           oracle,
 		Servers:          servers,
 		Capacity:         capacity,
 		WaitSeconds:      waitMin * 60,
@@ -145,15 +147,61 @@ func run(scale float64, graphPath, tripsPath string, servers, capacity int, wait
 		HotspotTheta:     theta,
 		LazyInvalidation: lazy,
 		Seed:             seed,
-	})
-	if err != nil {
-		return err
+		Workers:          workers,
+		Shards:           shards,
+		BatchWindow:      batchWin,
 	}
-	start := time.Now()
-	m := s.Run(reqs)
-	wall := time.Since(start)
-	if err := s.CheckInvariants(); err != nil {
-		return fmt.Errorf("invariant violated: %w", err)
+
+	var m *sim.Metrics
+	var wall time.Duration
+	if workers > 1 || shards > 1 || batchWin > 0 {
+		// The engine builds one oracle per shard through the factory;
+		// building the first one eagerly validates the -oracle name.
+		first, err := buildOracle(oracleSel, g)
+		if err != nil {
+			return err
+		}
+		eng, err := dispatch.New(cfg, func() sp.Oracle {
+			if first != nil {
+				o := first
+				first = nil
+				return o
+			}
+			o, err := buildOracle(oracleSel, g)
+			if err != nil {
+				panic(err) // unreachable: name validated by the first build
+			}
+			return o
+		})
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		if !jsonOut {
+			fmt.Printf("dispatch engine: %d workers, %d shards, batch window %gs\n",
+				eng.Workers(), eng.Shards(), batchWin)
+		}
+		start := time.Now()
+		m = eng.Run(reqs)
+		wall = time.Since(start)
+		if err := eng.CheckInvariants(); err != nil {
+			return fmt.Errorf("invariant violated: %w", err)
+		}
+	} else {
+		cfg.Oracle, err = buildOracle(oracleSel, g)
+		if err != nil {
+			return err
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		m = s.Run(reqs)
+		wall = time.Since(start)
+		if err := s.CheckInvariants(); err != nil {
+			return fmt.Errorf("invariant violated: %w", err)
+		}
 	}
 
 	if jsonOut {

@@ -1,0 +1,163 @@
+package dispatch
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/spatial"
+)
+
+// Batch-window matching: instead of dispatching every request the moment it
+// arrives, the engine collects arrivals for Config.BatchWindow seconds and
+// matches the whole window at once — the standard batching route to
+// real-time throughput at city scale (Simonetto et al.; Vakayil et al.).
+// Within a window the batch is matched greedily in arrival order, so the
+// outcome is deterministic and independent of worker/shard count; requests
+// can be cancelled at any point before their window is flushed.
+
+// Enqueue adds a request to the current batch window. If the request's
+// arrival time falls past the window boundary, the pending batch is flushed
+// at the boundary first. Immediate-mode engines (BatchWindow <= 0) simply
+// dispatch the request.
+func (e *Engine) Enqueue(req sim.Request) {
+	if e.cfg.BatchWindow <= 0 {
+		e.Submit(req)
+		return
+	}
+	if len(e.pending) == 0 {
+		e.batchStart = req.Time
+	} else if req.Time >= e.batchStart+e.cfg.BatchWindow {
+		e.flushAt(e.batchStart + e.cfg.BatchWindow)
+		e.batchStart = req.Time
+	}
+	e.pending = append(e.pending, req)
+}
+
+// Cancel withdraws a request that is still waiting in the batch window.
+// It reports whether the request was found and removed; a request that was
+// already flushed (committed or rejected) cannot be cancelled. Cancelled
+// requests are never counted as submitted.
+func (e *Engine) Cancel(reqID int64) bool {
+	for i := range e.pending {
+		if e.pending[i].ID == reqID {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Pending returns the number of requests waiting in the current window.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// Flush matches the pending batch immediately, without waiting for the
+// window boundary.
+func (e *Engine) Flush() {
+	if len(e.pending) == 0 {
+		return
+	}
+	t := e.clock
+	for i := range e.pending {
+		if e.pending[i].Time > t {
+			t = e.pending[i].Time
+		}
+	}
+	e.flushAt(t)
+}
+
+// flushAt matches the pending batch against the fleet state at time t.
+//
+// Phase 1 fans out: each shard runs every request's trial insertions over
+// its own vehicles, all against the quiescent start-of-flush state, and
+// records each request's candidate vehicle set. Phase 2 walks the batch
+// greedily in arrival order: a request none of whose candidates have been
+// committed to this flush keeps its phase-1 result (trial candidates stay
+// valid until their vehicle mutates, and commits don't move vehicles, so
+// candidate sets are stable for the whole flush); a request with a dirty
+// candidate re-fans its trials out against the updated fleet, because a
+// committed vehicle's incremental cost for a later request may have
+// changed in either direction. A request rejected in phase 1 stays
+// rejected — adding a trip to a tree never makes a previously infeasible
+// insertion feasible. The outcome is exactly the matching a sequential
+// greedy pass over the batch would produce, at fan-out parallelism, and is
+// therefore identical at every worker/shard count.
+func (e *Engine) flushAt(t float64) {
+	batch := e.pending
+	e.pending = nil
+	if t < e.clock {
+		t = e.clock
+	}
+	e.clock = t
+
+	started := time.Now()
+	waits := make([]float64, len(batch))
+	epss := make([]float64, len(batch))
+	radii := make([]float64, len(batch))
+	pxs := make([]float64, len(batch))
+	pys := make([]float64, len(batch))
+	for i := range batch {
+		batch[i].Time = t // the whole window is matched at the flush instant
+		waits[i], epss[i] = e.shards[0].w.Budget(batch[i])
+		radii[i] = e.shards[0].w.CandidateRadius(waits[i])
+		pxs[i], pys[i] = e.cfg.Graph.Coord(batch[i].Pickup)
+	}
+
+	// Phase 1: per-shard bests and candidate sets for every request.
+	bests := make([][]shardBest, len(batch))
+	cands := make([][][]spatial.ObjectID, len(batch))
+	for i := range bests {
+		bests[i] = make([]shardBest, len(e.shards))
+		cands[i] = make([][]spatial.ObjectID, len(e.shards))
+	}
+	e.parallel(func(s *shard) {
+		s.drainReportsUntil(&e.cfg, t)
+		for i, req := range batch {
+			bests[i][s.id], cands[i][s.id] = s.trial(&e.cfg, req, pxs[i], pys[i], waits[i], epss[i], radii[i], true)
+		}
+	})
+	e.metrics.AddACRT(time.Since(started))
+
+	// Phase 2: greedy arrival-order commits with conflict resolution.
+	dirty := make(map[int]bool)
+	for i, req := range batch {
+		e.metrics.Requests++
+		best := reduce(bests[i])
+		if best.veh >= 0 && conflicted(cands[i], dirty) {
+			// A candidate was taken by an earlier request in this batch;
+			// re-run the fan-out against the updated fleet.
+			retrial := time.Now()
+			fresh := make([]shardBest, len(e.shards))
+			req := req
+			e.parallel(func(s *shard) {
+				fresh[s.id], _ = s.trial(&e.cfg, req, pxs[i], pys[i], waits[i], epss[i], radii[i], false)
+			})
+			best = reduce(fresh)
+			e.metrics.AddACRT(time.Since(retrial))
+		}
+		if best.veh < 0 {
+			e.metrics.Rejected++
+			e.assigned[req.ID] = -1
+			continue
+		}
+		s := e.shards[best.veh%len(e.shards)]
+		s.w.Commit(s.vehicle(best.veh), best.trial)
+		dirty[best.veh] = true
+		e.assigned[req.ID] = best.veh
+	}
+}
+
+// conflicted reports whether any of a request's candidate vehicles has been
+// committed to during the current flush.
+func conflicted(perShard [][]spatial.ObjectID, dirty map[int]bool) bool {
+	if len(dirty) == 0 {
+		return false
+	}
+	for _, ids := range perShard {
+		for _, id := range ids {
+			if dirty[int(id)] {
+				return true
+			}
+		}
+	}
+	return false
+}

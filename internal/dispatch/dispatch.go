@@ -1,0 +1,403 @@
+// Package dispatch is the sharded concurrent dispatch engine: the paper's
+// kinetic-tree matching loop — trial-insert a request into every candidate
+// vehicle's tree and keep the cheapest — is embarrassingly parallel across
+// vehicles, so the engine partitions the fleet into shards and fans each
+// request's trial insertions out over a worker pool.
+//
+// Each shard owns its vehicles, their kinetic trees, a private slice of the
+// spatial index, and a private sp.Oracle, so the non-thread-safe LRU caches
+// and search buffers are never shared between goroutines. Trials reduce to
+// the globally cheapest feasible candidate with deterministic tie-breaking
+// (cost, then vehicle ID), and the winner commits on its owning shard. For
+// a fixed seed the engine produces bit-identical match assignments to the
+// sequential sim.Simulator at any worker/shard count, because both drive
+// the same sim.Worker primitives over the same seed-determined fleet.
+//
+// A batch-window mode (Config.BatchWindow) collects requests for a fixed
+// window and matches the batch greedily in arrival order with intra-batch
+// conflict resolution; see batch.go. Requests may be cancelled while they
+// wait in the window.
+package dispatch
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sp"
+	"repro/internal/spatial"
+)
+
+// OracleFactory builds one shortest-path oracle per shard. Factories must
+// return independent instances: shard oracles answer queries concurrently,
+// and the stock sp/cache implementations are not thread-safe.
+type OracleFactory func() sp.Oracle
+
+// Engine is the sharded concurrent dispatcher. The exported methods are
+// driven from one goroutine (like sim.Simulator); the concurrency is
+// internal, across shards.
+type Engine struct {
+	cfg      sim.Config
+	shards   []*shard
+	workers  int
+	tasks    chan func()
+	wg       sync.WaitGroup
+	closed   bool
+	clock    float64
+	metrics  *sim.Metrics // request-level counters; shard metrics merge in
+	assigned map[int64]int
+
+	// Batch-window state (batch.go).
+	pending    []sim.Request
+	batchStart float64
+}
+
+// shard owns a partition of the fleet. All of a shard's state is touched by
+// at most one goroutine at a time: the pool runs one task per shard, and
+// commits happen between fan-outs.
+type shard struct {
+	id       int
+	nshards  int
+	w        *sim.Worker
+	grid     *spatial.GridIndex
+	vehicles []*sim.Vehicle // local slice; global ID = local*nshards + id
+	reports  reportQueue
+	cand     []spatial.ObjectID // scratch
+}
+
+// vehicle returns the shard's vehicle with the given global ID.
+func (s *shard) vehicle(global int) *sim.Vehicle { return s.vehicles[global/s.nshards] }
+
+// New builds an engine over cfg. cfg.Workers sizes the worker pool
+// (default 1), cfg.Shards the fleet partition count (default = workers).
+// oracles supplies one oracle per shard; it may be nil only when the pool
+// is sequential (Workers <= 1), in which case every shard shares
+// cfg.Oracle.
+func New(cfg sim.Config, oracles OracleFactory) (*Engine, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("dispatch: Graph is required")
+	}
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("dispatch: need at least one server, got %d", cfg.Servers)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = workers
+	}
+	if nshards > cfg.Servers {
+		nshards = cfg.Servers
+	}
+	if oracles == nil {
+		if workers > 1 {
+			return nil, fmt.Errorf("dispatch: %d workers need an OracleFactory (oracles are not thread-safe)", workers)
+		}
+		if cfg.Oracle == nil {
+			return nil, fmt.Errorf("dispatch: Oracle or OracleFactory is required")
+		}
+		shared := cfg.Oracle
+		oracles = func() sp.Oracle { return shared }
+	}
+
+	e := &Engine{
+		cfg:      cfg,
+		workers:  workers,
+		metrics:  sim.NewMetrics(),
+		assigned: make(map[int64]int),
+	}
+	minX, minY, maxX, maxY := cfg.Graph.Bounds()
+	for i := 0; i < nshards; i++ {
+		w := sim.NewWorker(cfg, oracles(), sim.NewMetrics())
+		grid, err := spatial.NewGridIndex(minX, minY, maxX, maxY, w.CellSize())
+		if err != nil {
+			return nil, err
+		}
+		e.shards = append(e.shards, &shard{id: i, nshards: nshards, w: w, grid: grid})
+	}
+	// Identical seed-determined placement to sim.New: vehicle i lives on
+	// shard i mod nshards.
+	for i, p := range sim.Placements(cfg) {
+		s := e.shards[i%nshards]
+		v := s.w.NewVehicle(i, p.Loc)
+		s.vehicles = append(s.vehicles, v)
+		x, y := cfg.Graph.Coord(p.Loc)
+		s.grid.Insert(spatial.ObjectID(i), x, y)
+		heap.Push(&s.reports, report{due: p.FirstReport, veh: i})
+	}
+	if workers > 1 {
+		e.tasks = make(chan func(), nshards)
+		for i := 0; i < workers; i++ {
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				for fn := range e.tasks {
+					fn()
+				}
+			}()
+		}
+	}
+	return e, nil
+}
+
+// Close stops the worker pool. The engine must not be used afterwards.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.tasks != nil {
+		close(e.tasks)
+		e.wg.Wait()
+	}
+}
+
+// Shards returns the fleet partition count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Workers returns the trial worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// parallel runs fn once per shard, concurrently when a pool exists, and
+// returns when every shard is done. Shard state is only ever touched from
+// inside fn, so no further synchronization is needed.
+func (e *Engine) parallel(fn func(s *shard)) {
+	if e.tasks == nil {
+		for _, s := range e.shards {
+			fn(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.shards))
+	for _, s := range e.shards {
+		s := s
+		e.tasks <- func() {
+			defer wg.Done()
+			fn(s)
+		}
+	}
+	wg.Wait()
+}
+
+// report is a scheduled vehicle position report, as in sim.
+type report struct {
+	due float64
+	veh int
+}
+
+// reportQueue is a min-heap on due time (container/heap).
+type reportQueue []report
+
+func (q reportQueue) Len() int           { return len(q) }
+func (q reportQueue) Less(i, j int) bool { return q[i].due < q[j].due }
+func (q reportQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *reportQueue) Push(x any)        { *q = append(*q, x.(report)) }
+func (q *reportQueue) Pop() any {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// drainReportsUntil advances the shard's vehicles whose position report is
+// due before t and refreshes their index entries, exactly as the sequential
+// simulator does fleet-wide.
+func (s *shard) drainReportsUntil(g *sim.Config, t float64) {
+	interval := s.w.ReportInterval()
+	for len(s.reports) > 0 && s.reports[0].due <= t {
+		r := heap.Pop(&s.reports).(report)
+		v := s.vehicle(r.veh)
+		s.w.AdvanceTo(v, r.due)
+		x, y := g.Graph.Coord(v.Loc())
+		s.grid.Update(spatial.ObjectID(r.veh), x, y)
+		heap.Push(&s.reports, report{due: r.due + interval, veh: r.veh})
+	}
+}
+
+// shardBest is one shard's cheapest feasible candidate for a request.
+type shardBest struct {
+	veh   int // global vehicle ID, -1 if none feasible
+	trial sim.Trial
+}
+
+// trial runs the request's trial insertions over this shard's candidate
+// vehicles and returns the shard-local winner. Candidates arrive from the
+// grid in ascending ID order and win on strictly smaller cost, so the
+// shard winner is its lowest-ID cheapest vehicle — the same rule the
+// sequential scan applies globally. When record is true it also returns a
+// copy of the shard's candidate IDs (the batch planner needs them for
+// conflict detection; the scratch slice itself is reused per call).
+func (s *shard) trial(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps, radius float64, record bool) (shardBest, []spatial.ObjectID) {
+	s.drainReportsUntil(cfg, req.Time)
+	s.cand = s.grid.Within(s.cand[:0], px, py, radius)
+	best := shardBest{veh: -1}
+	for _, id := range s.cand {
+		v := s.vehicle(int(id))
+		s.w.AdvanceTo(v, req.Time)
+		tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps)
+		if !ok {
+			continue
+		}
+		if best.veh < 0 || tr.Cost < best.trial.Cost {
+			best = shardBest{veh: int(id), trial: tr}
+		}
+	}
+	if !record {
+		return best, nil
+	}
+	return best, append([]spatial.ObjectID(nil), s.cand...)
+}
+
+// reduce picks the global winner from per-shard bests: cheapest cost,
+// ties broken toward the lower vehicle ID. This is a total order, so the
+// result is independent of shard count and completion order.
+func reduce(bests []shardBest) shardBest {
+	out := shardBest{veh: -1}
+	for _, b := range bests {
+		if b.veh < 0 {
+			continue
+		}
+		if out.veh < 0 || b.trial.Cost < out.trial.Cost ||
+			(b.trial.Cost == out.trial.Cost && b.veh < out.veh) {
+			out = b
+		}
+	}
+	return out
+}
+
+// Submit matches one request immediately: it fans the trial insertions out
+// across the shards, reduces to the globally cheapest feasible vehicle, and
+// commits on the owning shard. It reports whether the request was matched
+// and to which vehicle.
+func (e *Engine) Submit(req sim.Request) (matched bool, vehID int) {
+	if req.Time < e.clock {
+		req.Time = e.clock // tolerate slightly out-of-order input
+	}
+	e.clock = req.Time
+	e.metrics.Requests++
+
+	waitMeters, eps := e.shards[0].w.Budget(req)
+	radius := e.shards[0].w.CandidateRadius(waitMeters)
+	px, py := e.cfg.Graph.Coord(req.Pickup)
+
+	started := time.Now()
+	bests := make([]shardBest, len(e.shards))
+	e.parallel(func(s *shard) {
+		bests[s.id], _ = s.trial(&e.cfg, req, px, py, waitMeters, eps, radius, false)
+	})
+	best := reduce(bests)
+	e.metrics.AddACRT(time.Since(started))
+
+	if best.veh < 0 {
+		e.metrics.Rejected++
+		e.assigned[req.ID] = -1
+		return false, -1
+	}
+	s := e.shards[best.veh%len(e.shards)]
+	s.w.Commit(s.vehicle(best.veh), best.trial)
+	e.assigned[req.ID] = best.veh
+	return true, best.veh
+}
+
+// Assignment reports the vehicle a request was matched to (-1 if it was
+// rejected) and whether the request has been dispatched at all.
+func (e *Engine) Assignment(reqID int64) (vehID int, dispatched bool) {
+	v, ok := e.assigned[reqID]
+	return v, ok
+}
+
+// Run replays all requests (sorted by time) and then lets the fleet finish
+// its committed schedules. With a positive BatchWindow the stream is
+// matched in windows; otherwise each request is matched on arrival.
+func (e *Engine) Run(reqs []sim.Request) *sim.Metrics {
+	if e.cfg.BatchWindow > 0 {
+		for i := range reqs {
+			e.Enqueue(reqs[i])
+		}
+		e.Flush()
+	} else {
+		for i := range reqs {
+			e.Submit(reqs[i])
+		}
+	}
+	e.Drain()
+	return e.Metrics()
+}
+
+// Drain advances every vehicle until its committed schedule is finished,
+// mirroring sim.Simulator.Drain round for round.
+func (e *Engine) Drain() {
+	const step = 3600 // seconds per drain round
+	busy := make([]bool, len(e.shards))
+	for round := 0; round < 200; round++ {
+		e.clock += step
+		e.parallel(func(s *shard) {
+			busy[s.id] = false
+			for _, v := range s.vehicles {
+				if v.Busy() {
+					s.w.AdvanceTo(v, e.clock)
+					busy[s.id] = busy[s.id] || v.Busy()
+				}
+			}
+		})
+		any := false
+		for _, b := range busy {
+			any = any || b
+		}
+		if !any {
+			break
+		}
+	}
+	// Peak occupancy in global vehicle order, as the sequential path
+	// records it.
+	e.eachVehicle(func(v *sim.Vehicle) {
+		e.metrics.PeakOccupancy = append(e.metrics.PeakOccupancy, v.PeakOnboard())
+	})
+}
+
+// eachVehicle visits the fleet in global ID order.
+func (e *Engine) eachVehicle(fn func(v *sim.Vehicle)) {
+	total := 0
+	for _, s := range e.shards {
+		total += len(s.vehicles)
+	}
+	for i := 0; i < total; i++ {
+		fn(e.shards[i%len(e.shards)].vehicle(i))
+	}
+}
+
+// Metrics merges the engine's request-level counters with the per-shard
+// trial and service metrics. Shards merge in shard order, so the result is
+// deterministic for a fixed shard count.
+func (e *Engine) Metrics() *sim.Metrics {
+	out := sim.NewMetrics()
+	out.Merge(e.metrics)
+	for _, s := range e.shards {
+		out.Merge(s.w.Metrics())
+	}
+	return out
+}
+
+// CheckInvariants verifies the cross-cutting invariants over the whole
+// fleet, mirroring sim.Simulator.CheckInvariants.
+func (e *Engine) CheckInvariants() error {
+	if m := e.Metrics(); m.Violations > 0 {
+		return fmt.Errorf("dispatch: %d service-guarantee violations", m.Violations)
+	}
+	var firstErr error
+	e.eachVehicle(func(v *sim.Vehicle) {
+		if firstErr != nil {
+			return
+		}
+		s := e.shards[v.ID()%len(e.shards)]
+		if err := s.w.CheckVehicle(v); err != nil {
+			firstErr = fmt.Errorf("dispatch: vehicle %d: %w", v.ID(), err)
+		}
+	})
+	return firstErr
+}

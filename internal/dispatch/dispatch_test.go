@@ -1,0 +1,379 @@
+package dispatch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/sp"
+)
+
+// testWorld builds a small city, a per-caller oracle factory, and a
+// deterministic request stream (one request every 5 simulated seconds).
+func testWorld(t testing.TB, trips int) (*roadnet.Graph, OracleFactory, []sim.Request) {
+	t.Helper()
+	g, err := roadnet.Grid(roadnet.GridOptions{
+		Rows: 20, Cols: 20, Spacing: 400, Jitter: 0.2, WeightVar: 0.1, DropFrac: 0.05, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	factory := func() sp.Oracle {
+		return cache.New(sp.NewBidirectional(g), g.N(), 1<<20, 1<<14)
+	}
+	reqs := make([]sim.Request, 0, trips)
+	nv := int32(g.N())
+	state := int64(12345) // LCG, stable across Go versions
+	next := func(mod int32) int32 {
+		state = state*6364136223846793005 + 1442695040888963407
+		v := int32((state >> 33) % int64(mod))
+		if v < 0 {
+			v += mod
+		}
+		return v
+	}
+	for len(reqs) < trips {
+		s := roadnet.VertexID(next(nv))
+		e := roadnet.VertexID(next(nv))
+		if s == e || g.EuclideanDist(s, e) < 800 {
+			continue
+		}
+		reqs = append(reqs, sim.Request{
+			ID:      int64(len(reqs)),
+			Time:    float64(len(reqs)) * 5,
+			Pickup:  s,
+			Dropoff: e,
+		})
+	}
+	return g, factory, reqs
+}
+
+func baseConfig(g *roadnet.Graph, factory OracleFactory, algo sim.Algorithm) sim.Config {
+	return sim.Config{
+		Graph:     g,
+		Oracle:    factory(),
+		Servers:   25,
+		Capacity:  4,
+		Algorithm: algo,
+		Seed:      42,
+	}
+}
+
+// floatsClose compares totals that may differ in summation order across
+// shard counts.
+func floatsClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+func compareMetrics(t *testing.T, label string, seq, got *sim.Metrics) {
+	t.Helper()
+	if seq.Requests != got.Requests || seq.Matched != got.Matched || seq.Rejected != got.Rejected {
+		t.Errorf("%s: counts diverge: seq req/match/rej=%d/%d/%d got %d/%d/%d",
+			label, seq.Requests, seq.Matched, seq.Rejected, got.Requests, got.Matched, got.Rejected)
+	}
+	if seq.Completed != got.Completed || seq.Violations != got.Violations {
+		t.Errorf("%s: completed/violations diverge: seq %d/%d got %d/%d",
+			label, seq.Completed, seq.Violations, got.Completed, got.Violations)
+	}
+	if seq.TrialCalls != got.TrialCalls || seq.TrialFailures != got.TrialFailures || seq.OverBudget != got.OverBudget {
+		t.Errorf("%s: trial counters diverge: seq %d/%d/%d got %d/%d/%d",
+			label, seq.TrialCalls, seq.TrialFailures, seq.OverBudget, got.TrialCalls, got.TrialFailures, got.OverBudget)
+	}
+	if seq.TreeNodesMax != got.TreeNodesMax {
+		t.Errorf("%s: TreeNodesMax %d vs %d", label, seq.TreeNodesMax, got.TreeNodesMax)
+	}
+	if len(seq.PeakOccupancy) != len(got.PeakOccupancy) {
+		t.Errorf("%s: occupancy length %d vs %d", label, len(seq.PeakOccupancy), len(got.PeakOccupancy))
+	} else {
+		for i := range seq.PeakOccupancy {
+			if seq.PeakOccupancy[i] != got.PeakOccupancy[i] {
+				t.Errorf("%s: vehicle %d peak occupancy %d vs %d", label, i, seq.PeakOccupancy[i], got.PeakOccupancy[i])
+				break
+			}
+		}
+	}
+	for _, f := range []struct {
+		name     string
+		seq, got float64
+	}{
+		{"TotalWaitMeters", seq.TotalWaitMeters, got.TotalWaitMeters},
+		{"TotalRideMeters", seq.TotalRideMeters, got.TotalRideMeters},
+		{"TotalShortestLen", seq.TotalShortestLen, got.TotalShortestLen},
+		{"TotalVehicleMeters", seq.TotalVehicleMeters, got.TotalVehicleMeters},
+	} {
+		if !floatsClose(f.seq, f.got) {
+			t.Errorf("%s: %s diverges: %v vs %v", label, f.name, f.seq, f.got)
+		}
+	}
+}
+
+// TestSequentialEquivalence: for a fixed seed, the engine must produce the
+// identical per-request vehicle assignments and metrics as the sequential
+// Simulator, at every worker/shard combination, for both a kinetic-tree and
+// a stateless algorithm.
+func TestSequentialEquivalence(t *testing.T) {
+	cases := []struct {
+		algo  sim.Algorithm
+		trips int
+	}{
+		{sim.AlgoTreeSlack, 120},
+		{sim.AlgoBranchBound, 60},
+	}
+	grids := []struct{ workers, shards int }{
+		{1, 1}, {4, 4}, {8, 8}, {2, 5}, {4, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.algo.String(), func(t *testing.T) {
+			g, factory, reqs := testWorld(t, tc.trips)
+
+			seq, err := sim.New(baseConfig(g, factory, tc.algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]int, len(reqs))
+			for i, r := range reqs {
+				matched, veh := seq.Submit(r)
+				if !matched {
+					veh = -1
+				}
+				want[i] = veh
+			}
+			seq.Drain()
+			if err := seq.CheckInvariants(); err != nil {
+				t.Fatalf("sequential invariants: %v", err)
+			}
+
+			for _, wc := range grids {
+				cfg := baseConfig(g, factory, tc.algo)
+				cfg.Workers = wc.workers
+				cfg.Shards = wc.shards
+				e, err := New(cfg, factory)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, r := range reqs {
+					matched, veh := e.Submit(r)
+					if !matched {
+						veh = -1
+					}
+					if veh != want[i] {
+						t.Fatalf("workers=%d shards=%d: request %d assigned to %d, sequential chose %d",
+							wc.workers, wc.shards, i, veh, want[i])
+					}
+				}
+				e.Drain()
+				if err := e.CheckInvariants(); err != nil {
+					t.Fatalf("workers=%d shards=%d: invariants: %v", wc.workers, wc.shards, err)
+				}
+				compareMetrics(t, algoLabel(tc.algo, wc.workers, wc.shards), seq.Metrics(), e.Metrics())
+				e.Close()
+			}
+		})
+	}
+}
+
+func algoLabel(a sim.Algorithm, workers, shards int) string {
+	return a.String() + "/w" + string(rune('0'+workers)) + "s" + string(rune('0'+shards))
+}
+
+// TestBatchDeterminismAcrossWorkers: batch-window matching is defined by a
+// deterministic greedy pass, so assignments must be identical at every
+// worker/shard count.
+func TestBatchDeterminismAcrossWorkers(t *testing.T) {
+	g, factory, reqs := testWorld(t, 100)
+	run := func(workers, shards int) (map[int64]int, *sim.Metrics) {
+		cfg := baseConfig(g, factory, sim.AlgoTreeSlack)
+		cfg.Workers = workers
+		cfg.Shards = shards
+		cfg.BatchWindow = 30 // six requests per window at one per 5s
+		e, err := New(cfg, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		m := e.Run(reqs)
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("workers=%d: invariants: %v", workers, err)
+		}
+		got := make(map[int64]int, len(reqs))
+		for _, r := range reqs {
+			veh, ok := e.Assignment(r.ID)
+			if !ok {
+				t.Fatalf("workers=%d: request %d never dispatched", workers, r.ID)
+			}
+			got[r.ID] = veh
+		}
+		return got, m
+	}
+	wantAssign, wantMetrics := run(1, 1)
+	if wantMetrics.Matched == 0 {
+		t.Fatal("batch run matched nothing — workload broken")
+	}
+	for _, wc := range []struct{ workers, shards int }{{4, 4}, {8, 3}} {
+		gotAssign, gotMetrics := run(wc.workers, wc.shards)
+		for id, want := range wantAssign {
+			if gotAssign[id] != want {
+				t.Fatalf("workers=%d shards=%d: request %d assigned to %d, baseline chose %d",
+					wc.workers, wc.shards, id, gotAssign[id], want)
+			}
+		}
+		if wantMetrics.Matched != gotMetrics.Matched || wantMetrics.Rejected != gotMetrics.Rejected ||
+			wantMetrics.Completed != gotMetrics.Completed || wantMetrics.Violations != gotMetrics.Violations {
+			t.Fatalf("workers=%d shards=%d: batch metrics diverge: %v vs %v",
+				wc.workers, wc.shards, wantMetrics, gotMetrics)
+		}
+	}
+}
+
+// TestBatchConflictResolution: two requests in one window contending for
+// the same (only) vehicle — the earlier one wins it outright, the later one
+// must be resolved against the post-commit state, not its stale phase-1
+// trial.
+func TestBatchConflictResolution(t *testing.T) {
+	g, factory, _ := testWorld(t, 1)
+	cfg := baseConfig(g, factory, sim.AlgoTreeSlack)
+	cfg.Servers = 1
+	cfg.Workers = 2
+	cfg.Shards = 1
+	cfg.BatchWindow = 60
+	e, err := New(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Place both trips near the vehicle so both are individually feasible.
+	loc := sim.Placements(cfg)[0].Loc
+	oracle := factory()
+	var a, b roadnet.VertexID = -1, -1
+	for d := 0; d < g.N(); d++ {
+		dd := oracle.Dist(loc, roadnet.VertexID(d))
+		if dd > 1200 && dd < 3000 {
+			if a < 0 {
+				a = roadnet.VertexID(d)
+			} else if roadnet.VertexID(d) != a {
+				b = roadnet.VertexID(d)
+				break
+			}
+		}
+	}
+	if a < 0 || b < 0 {
+		t.Skip("graph too small to stage the conflict")
+	}
+	e.Enqueue(sim.Request{ID: 1, Time: 1, Pickup: loc, Dropoff: a})
+	e.Enqueue(sim.Request{ID: 2, Time: 2, Pickup: loc, Dropoff: b})
+	e.Flush()
+	if veh, ok := e.Assignment(1); !ok || veh != 0 {
+		t.Fatalf("first request should win the only vehicle, got (%d, %v)", veh, ok)
+	}
+	if _, ok := e.Assignment(2); !ok {
+		t.Fatal("second request was never resolved")
+	}
+	m := e.Metrics()
+	if m.Requests != 2 {
+		t.Fatalf("Requests=%d, want 2", m.Requests)
+	}
+	e.Drain()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestCancel: a request cancelled inside its batch window is never
+// dispatched; one already flushed cannot be cancelled.
+func TestCancel(t *testing.T) {
+	g, factory, reqs := testWorld(t, 3)
+	cfg := baseConfig(g, factory, sim.AlgoTreeSlack)
+	cfg.Workers = 2
+	cfg.Shards = 2
+	cfg.BatchWindow = 1000
+	e, err := New(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	e.Enqueue(reqs[0])
+	e.Enqueue(reqs[1])
+	if e.Pending() != 2 {
+		t.Fatalf("Pending=%d, want 2", e.Pending())
+	}
+	if !e.Cancel(reqs[0].ID) {
+		t.Fatal("cancel of a pending request failed")
+	}
+	if e.Cancel(reqs[0].ID) {
+		t.Fatal("double cancel succeeded")
+	}
+	if e.Cancel(999) {
+		t.Fatal("cancel of an unknown request succeeded")
+	}
+	e.Flush()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending=%d after flush", e.Pending())
+	}
+	if _, ok := e.Assignment(reqs[0].ID); ok {
+		t.Fatal("cancelled request was dispatched")
+	}
+	if _, ok := e.Assignment(reqs[1].ID); !ok {
+		t.Fatal("surviving request was not dispatched")
+	}
+	if e.Cancel(reqs[1].ID) {
+		t.Fatal("cancelled a request that was already flushed")
+	}
+	if m := e.Metrics(); m.Requests != 1 {
+		t.Fatalf("Requests=%d, want 1 (cancelled requests are never submitted)", m.Requests)
+	}
+}
+
+// TestNewValidation covers the constructor's misuse errors.
+func TestNewValidation(t *testing.T) {
+	g, factory, _ := testWorld(t, 1)
+	cfg := baseConfig(g, factory, sim.AlgoTreeSlack)
+	cfg.Workers = 4
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("multi-worker engine without an OracleFactory must be rejected")
+	}
+	cfg.Workers = 1
+	cfg.Oracle = nil
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("engine without any oracle must be rejected")
+	}
+	cfg.Servers = 0
+	if _, err := New(cfg, factory); err == nil {
+		t.Fatal("zero servers must be rejected")
+	}
+	bad := cfg
+	bad.Graph = nil
+	if _, err := New(bad, factory); err == nil {
+		t.Fatal("missing graph must be rejected")
+	}
+}
+
+// TestShardsClampedToFleet: more shards than vehicles must not create empty
+// shards that break the global-ID arithmetic.
+func TestShardsClampedToFleet(t *testing.T) {
+	g, factory, reqs := testWorld(t, 10)
+	cfg := baseConfig(g, factory, sim.AlgoTreeSlack)
+	cfg.Servers = 3
+	cfg.Workers = 4
+	cfg.Shards = 16
+	e, err := New(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Shards() != 3 {
+		t.Fatalf("Shards=%d, want clamp to 3", e.Shards())
+	}
+	e.Run(reqs)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -86,6 +86,45 @@ func (m *Metrics) ARTBuckets() []int {
 
 func (m *Metrics) recordACRT(d time.Duration) { m.acrtTotal += d }
 
+// NewMetrics returns an empty metrics sink. The sharded dispatch engine
+// gives each shard its own and merges them on read.
+func NewMetrics() *Metrics { return newMetrics() }
+
+// AddACRT adds one request's match-search wall time to the response-time
+// total; the dispatch engine records its fan-out/reduce latency here the
+// way Submit does for the sequential scan.
+func (m *Metrics) AddACRT(d time.Duration) { m.recordACRT(d) }
+
+// Merge folds o into m: counters and totals add, ART buckets combine,
+// occupancy lists concatenate, and maxima take the larger value. Merging
+// per-shard metrics in shard order yields deterministic totals for a fixed
+// shard count.
+func (m *Metrics) Merge(o *Metrics) {
+	m.Requests += o.Requests
+	m.Matched += o.Matched
+	m.Rejected += o.Rejected
+	m.acrtTotal += o.acrtTotal
+	for k, d := range o.artTotal {
+		m.artTotal[k] += d
+	}
+	for k, c := range o.artCount {
+		m.artCount[k] += c
+	}
+	m.TrialCalls += o.TrialCalls
+	m.TrialFailures += o.TrialFailures
+	m.OverBudget += o.OverBudget
+	m.Completed += o.Completed
+	m.TotalWaitMeters += o.TotalWaitMeters
+	m.TotalRideMeters += o.TotalRideMeters
+	m.TotalShortestLen += o.TotalShortestLen
+	m.Violations += o.Violations
+	m.PeakOccupancy = append(m.PeakOccupancy, o.PeakOccupancy...)
+	m.TotalVehicleMeters += o.TotalVehicleMeters
+	if o.TreeNodesMax > m.TreeNodesMax {
+		m.TreeNodesMax = o.TreeNodesMax
+	}
+}
+
 func (m *Metrics) recordART(active int, d time.Duration) {
 	m.artTotal[active] += d
 	m.artCount[active]++

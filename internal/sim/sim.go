@@ -3,11 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
-	"math/rand"
-	"sort"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/roadnet"
 	"repro/internal/sp"
 	"repro/internal/spatial"
@@ -86,6 +83,17 @@ type Config struct {
 	CellSize       float64 // spatial-index cell size in meters (default 1000)
 
 	Seed int64
+
+	// Workers, Shards, and BatchWindow configure the sharded concurrent
+	// dispatch engine (internal/dispatch): Workers sizes its trial worker
+	// pool, Shards partitions the fleet (default: one shard per worker),
+	// and BatchWindow, when positive, collects requests for that many
+	// seconds and matches them as a batch. The sequential Simulator
+	// ignores all three; callers such as cmd/ridesim select the engine
+	// when Workers or Shards is set.
+	Workers     int
+	Shards      int
+	BatchWindow float64
 }
 
 func (c *Config) withDefaults() Config {
@@ -117,16 +125,17 @@ func (c *Config) withDefaults() Config {
 // Simulator replays a request stream against a fleet.
 //
 // Not safe for concurrent use: the matching path is single-threaded, as in
-// the paper's evaluation.
+// the paper's evaluation. internal/dispatch provides the concurrent engine;
+// both drive the same Worker primitives, so for a fixed seed they produce
+// identical matches.
 type Simulator struct {
 	cfg        Config
 	graph      *roadnet.Graph
 	oracle     sp.Oracle
+	w          *Worker
 	grid       *spatial.GridIndex
-	vehicles   []*vehicle
-	sched      core.Scheduler // stateless algorithms only
+	vehicles   []*Vehicle
 	metrics    *Metrics
-	waitMeters float64
 	clock      float64
 	reports    reportQueue
 	candidates []spatial.ObjectID // scratch
@@ -147,67 +156,32 @@ func New(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	metrics := newMetrics()
 	s := &Simulator{
-		cfg:        cfg,
-		graph:      cfg.Graph,
-		oracle:     cfg.Oracle,
-		grid:       grid,
-		metrics:    newMetrics(),
-		waitMeters: cfg.WaitSeconds * roadnet.Speed,
+		cfg:     cfg,
+		graph:   cfg.Graph,
+		oracle:  cfg.Oracle,
+		w:       NewWorker(cfg, cfg.Oracle, metrics),
+		grid:    grid,
+		metrics: metrics,
 	}
-	switch cfg.Algorithm {
-	case AlgoBruteForce:
-		s.sched = core.NewBruteForce(cfg.Oracle)
-	case AlgoBranchBound:
-		s.sched = core.NewBranchBound(cfg.Oracle)
-	case AlgoMIP:
-		ms := core.NewMIPScheduler(cfg.Oracle, cfg.MIPMaxNodes)
-		if cfg.MIPTimeBudget > 0 {
-			ms.SetTimeBudget(cfg.MIPTimeBudget)
-		}
-		s.sched = ms
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	n := int32(cfg.Graph.N())
-	for i := 0; i < cfg.Servers; i++ {
-		v := &vehicle{
-			id:         i,
-			loc:        roadnet.VertexID(rng.Int31n(n)),
-			rng:        rand.New(rand.NewSource(cfg.Seed + int64(i) + 1)),
-			requestOdo: make(map[int64]float64),
-			pickupOdo:  make(map[int64]float64),
-		}
-		switch cfg.Algorithm {
-		case AlgoTreeBasic, AlgoTreeSlack, AlgoTreeHotspot:
-			opts := core.TreeOptions{
-				Capacity:         cfg.Capacity,
-				MaxTreeNodes:     cfg.MaxTreeNodes,
-				LazyInvalidation: cfg.LazyInvalidation,
-			}
-			if cfg.Algorithm != AlgoTreeBasic {
-				opts.Slack = true
-			}
-			if cfg.Algorithm == AlgoTreeHotspot {
-				opts.HotspotTheta = cfg.HotspotTheta
-			}
-			v.tree = core.NewTree(cfg.Oracle, v.loc, 0, opts)
-		default:
-			v.sched = s.sched
-		}
+	for i, p := range Placements(cfg) {
+		v := s.w.NewVehicle(i, p.Loc)
 		s.vehicles = append(s.vehicles, v)
 		x, y := cfg.Graph.Coord(v.loc)
 		s.grid.Insert(spatial.ObjectID(i), x, y)
 		// Stagger position reports across the fleet.
-		heap.Push(&s.reports, report{
-			due: rng.Float64() * cfg.ReportInterval,
-			veh: i,
-		})
+		heap.Push(&s.reports, report{due: p.FirstReport, veh: i})
 	}
 	return s, nil
 }
 
 // Metrics returns the accumulated measurements.
 func (s *Simulator) Metrics() *Metrics { return s.metrics }
+
+// advanceTo forwards to the worker; kept as a method because motion tests
+// exercise it directly.
+func (s *Simulator) advanceTo(v *Vehicle, t float64) { s.w.AdvanceTo(v, t) }
 
 // report is a scheduled vehicle position report ("around 17,000 taxis
 // update their locations every 20 to 60 seconds", §IV).
@@ -235,7 +209,7 @@ func (s *Simulator) drainReportsUntil(t float64) {
 	for len(s.reports) > 0 && s.reports[0].due <= t {
 		r := heap.Pop(&s.reports).(report)
 		v := s.vehicles[r.veh]
-		s.advanceTo(v, r.due)
+		s.w.AdvanceTo(v, r.due)
 		x, y := s.graph.Coord(v.loc)
 		s.grid.Update(spatial.ObjectID(r.veh), x, y)
 		heap.Push(&s.reports, report{due: r.due + s.cfg.ReportInterval, veh: r.veh})
@@ -256,86 +230,26 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 	s.clock = req.Time
 	s.metrics.Requests++
 
-	waitMeters := s.waitMeters
-	if req.WaitSeconds > 0 {
-		waitMeters = req.WaitSeconds * roadnet.Speed
-	}
-	eps := s.cfg.Epsilon
-	if req.Epsilon > 0 {
-		eps = req.Epsilon
-	}
-
+	waitMeters, eps := s.w.Budget(req)
 	px, py := s.graph.Coord(req.Pickup)
 	// Candidate radius: the waiting budget plus the maximum drift since a
-	// vehicle's last position report.
-	radius := waitMeters + s.cfg.ReportInterval*roadnet.Speed
-	s.candidates = s.grid.Within(s.candidates[:0], px, py, radius)
-	// The grid returns candidates in map order; sort for deterministic
-	// tie-breaking and accumulation across runs.
-	sort.Slice(s.candidates, func(i, j int) bool { return s.candidates[i] < s.candidates[j] })
+	// vehicle's last position report. The grid returns candidates sorted by
+	// ID, which fixes the tie-breaking order.
+	s.candidates = s.grid.Within(s.candidates[:0], px, py, s.w.CandidateRadius(waitMeters))
 
 	started := time.Now()
-	bestCost := 0.0
 	bestVeh := -1
-	var bestTreeCand *core.Candidate
-	var bestResult core.Result
-	var bestTrip core.TripState
-
+	var best Trial
 	for _, id := range s.candidates {
 		v := s.vehicles[int(id)]
-		s.advanceTo(v, req.Time)
-		// Exact-location confirmation: skip vehicles whose true position
-		// is beyond the waiting budget (Euclidean lower-bounds network
-		// distance on generator graphs).
-		vx, vy := s.graph.Coord(v.loc)
-		if dx, dy := vx-px, vy-py; dx*dx+dy*dy > waitMeters*waitMeters {
+		s.w.AdvanceTo(v, req.Time)
+		tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps)
+		if !ok {
 			continue
 		}
-		active := v.activeTrips()
-		trialStart := time.Now()
-		if v.isTree() {
-			trip, err := core.NewTripState(req.ID, req.Pickup, req.Dropoff, waitMeters, eps, v.odo, s.oracle)
-			if err != nil {
-				s.metrics.recordART(active, time.Since(trialStart))
-				continue
-			}
-			cand, ok, err := v.tree.TrialInsert(trip)
-			s.metrics.recordART(active, time.Since(trialStart))
-			if err != nil {
-				// Candidate tree exceeded the size budget: the paper's
-				// basic/slack variants "break off" here (Fig. 9c).
-				s.metrics.OverBudget++
-				s.metrics.TrialFailures++
-				continue
-			}
-			if !ok {
-				s.metrics.TrialFailures++
-				continue
-			}
-			if bestVeh < 0 || cand.Cost < bestCost {
-				bestCost = cand.Cost
-				bestVeh = int(id)
-				bestTreeCand = cand
-				bestTrip = trip
-			}
-		} else {
-			inst, trip, ok := s.buildInstance(v, req, waitMeters, eps)
-			if !ok {
-				s.metrics.recordART(active, time.Since(trialStart))
-				continue
-			}
-			res := v.sched.Schedule(inst)
-			s.metrics.recordART(active, time.Since(trialStart))
-			if !res.OK {
-				s.metrics.TrialFailures++
-				continue
-			}
-			if bestVeh < 0 || res.Cost < bestCost {
-				bestCost = res.Cost
-				bestVeh = int(id)
-				bestResult = res
-				bestTrip = trip
-			}
+		if bestVeh < 0 || tr.Cost < best.Cost {
+			best = tr
+			bestVeh = int(id)
 		}
 	}
 	s.metrics.recordACRT(time.Since(started))
@@ -344,61 +258,11 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 		s.metrics.Rejected++
 		return false, -1
 	}
-	v := s.vehicles[bestVeh]
-	v.requestOdo[req.ID] = v.odo
-	if v.isTree() {
-		// TrialInsert results are only valid against the tree state they
-		// were computed from; if later trials were run on other vehicles
-		// this one's state is unchanged, so the candidate is still fresh.
-		v.tree.Commit(bestTreeCand)
-		if n := v.tree.Nodes(); n > s.metrics.TreeNodesMax {
-			s.metrics.TreeNodesMax = n
-		}
-	} else {
-		s.commitStateless(v, bestResult, bestTrip)
-	}
-	s.metrics.Matched++
+	// Trial results are only valid against the vehicle state they were
+	// computed from; if later trials were run on other vehicles this one's
+	// state is unchanged, so the trial is still fresh.
+	s.w.Commit(s.vehicles[bestVeh], best)
 	return true, bestVeh
-}
-
-// buildInstance assembles the rescheduling instance for a stateless vehicle:
-// its active trips plus the new request, origin at its current position.
-func (s *Simulator) buildInstance(v *vehicle, req Request, waitMeters, eps float64) (*core.Instance, core.TripState, bool) {
-	trip, err := core.NewTripState(req.ID, req.Pickup, req.Dropoff, waitMeters, eps, v.odo, s.oracle)
-	if err != nil {
-		return nil, core.TripState{}, false
-	}
-	inst := &core.Instance{Origin: v.loc, Odo: v.odo, Capacity: s.cfg.Capacity}
-	for i := range v.trips {
-		if !v.done[i] {
-			inst.Trips = append(inst.Trips, v.trips[i])
-		}
-	}
-	inst.Trips = append(inst.Trips, trip)
-	return inst, trip, true
-}
-
-// commitStateless adopts the scheduler's order on the vehicle. The order's
-// trip indices reference the instance's compacted trip list; they are
-// remapped to the vehicle's slot array.
-func (s *Simulator) commitStateless(v *vehicle, res core.Result, trip core.TripState) {
-	slot := make([]int, 0, len(v.trips)+1)
-	for i := range v.trips {
-		if !v.done[i] {
-			slot = append(slot, i)
-		}
-	}
-	v.trips = append(v.trips, trip)
-	v.done = append(v.done, false)
-	slot = append(slot, len(v.trips)-1)
-	route := make([]core.Stop, len(res.Order))
-	for i, st := range res.Order {
-		st.Trip = slot[st.Trip]
-		route[i] = st
-	}
-	v.route = route
-	v.path = nil
-	v.pathPos = 0
 }
 
 // Run replays all requests (which must be sorted by time) and then lets the
@@ -419,9 +283,9 @@ func (s *Simulator) Drain() {
 		busy := false
 		s.clock += step
 		for _, v := range s.vehicles {
-			if v.busy() {
-				s.advanceTo(v, s.clock)
-				busy = busy || v.busy()
+			if v.Busy() {
+				s.w.AdvanceTo(v, s.clock)
+				busy = busy || v.Busy()
 			}
 		}
 		if !busy {
@@ -440,13 +304,8 @@ func (s *Simulator) CheckInvariants() error {
 		return fmt.Errorf("sim: %d service-guarantee violations", s.metrics.Violations)
 	}
 	for _, v := range s.vehicles {
-		if v.isTree() {
-			if err := v.tree.Validate(); err != nil {
-				return fmt.Errorf("sim: vehicle %d: %w", v.id, err)
-			}
-		}
-		if s.cfg.Capacity > 0 && v.peakOnboard > s.cfg.Capacity {
-			return fmt.Errorf("sim: vehicle %d peak occupancy %d exceeds capacity %d", v.id, v.peakOnboard, s.cfg.Capacity)
+		if err := s.w.CheckVehicle(v); err != nil {
+			return fmt.Errorf("sim: vehicle %d: %w", v.id, err)
 		}
 	}
 	return nil

@@ -8,11 +8,12 @@ import (
 	"repro/internal/roadnet"
 )
 
-// vehicle is one server: either a kinetic-tree vehicle (incremental state)
+// Vehicle is one server: either a kinetic-tree vehicle (incremental state)
 // or a stateless-scheduler vehicle that reschedules from scratch on every
 // trial, exactly the distinction the paper draws between the tree algorithm
-// and the brute-force/branch-and-bound/MIP baselines.
-type vehicle struct {
+// and the brute-force/branch-and-bound/MIP baselines. Vehicles are moved and
+// scheduled through a Worker; the type itself exposes only read accessors.
+type Vehicle struct {
 	id    int
 	loc   roadnet.VertexID
 	odo   float64 // meters traveled since simulation start
@@ -39,10 +40,19 @@ type vehicle struct {
 	pickupOdo  map[int64]float64 // odometer at pickup
 }
 
-func (v *vehicle) isTree() bool { return v.tree != nil }
+// ID returns the vehicle's fleet-wide identifier.
+func (v *Vehicle) ID() int { return v.id }
+
+// Loc returns the vehicle's current vertex.
+func (v *Vehicle) Loc() roadnet.VertexID { return v.loc }
+
+// PeakOnboard returns the largest simultaneous passenger count observed.
+func (v *Vehicle) PeakOnboard() int { return v.peakOnboard }
+
+func (v *Vehicle) isTree() bool { return v.tree != nil }
 
 // activeTrips returns the number of accepted, uncompleted trips.
-func (v *vehicle) activeTrips() int {
+func (v *Vehicle) activeTrips() int {
 	if v.isTree() {
 		return v.tree.ActiveTrips()
 	}
@@ -55,7 +65,7 @@ func (v *vehicle) activeTrips() int {
 	return n
 }
 
-func (v *vehicle) onboard() int {
+func (v *Vehicle) onboard() int {
 	if v.isTree() {
 		return v.tree.OnBoard()
 	}
@@ -68,8 +78,8 @@ func (v *vehicle) onboard() int {
 	return n
 }
 
-// busy reports whether the vehicle has committed stops to serve.
-func (v *vehicle) busy() bool {
+// Busy reports whether the vehicle has committed stops to serve.
+func (v *Vehicle) Busy() bool {
 	if v.isTree() {
 		return !v.tree.Empty()
 	}
@@ -77,7 +87,7 @@ func (v *vehicle) busy() bool {
 }
 
 // nextTarget returns the vertex of the next committed stop.
-func (v *vehicle) nextTarget() (roadnet.VertexID, bool) {
+func (v *Vehicle) nextTarget() (roadnet.VertexID, bool) {
 	if v.isTree() {
 		stops := v.tree.NextStops()
 		if len(stops) == 0 {
@@ -91,38 +101,38 @@ func (v *vehicle) nextTarget() (roadnet.VertexID, bool) {
 	return v.route[0].Vertex, true
 }
 
-// advanceTo moves the vehicle forward to simulation time t, following its
+// AdvanceTo moves the vehicle forward to simulation time t, following its
 // committed schedule when busy and cruising randomly when idle ("a vehicle
 // ... follows a given route when there are customer(s) on board or,
 // otherwise, follows the current road segment; at intersections, the next
 // segment to follow is chosen randomly", §VI).
-func (s *Simulator) advanceTo(v *vehicle, t float64) {
+func (w *Worker) AdvanceTo(v *Vehicle, t float64) {
 	if t < v.clock {
 		return
 	}
 	budget := (t - v.clock) * roadnet.Speed // meters available
 	v.clock = t
 	for budget > 1e-9 {
-		if v.busy() {
+		if v.Busy() {
 			target, _ := v.nextTarget()
 			if target == v.loc {
-				budget = s.serveStop(v, budget)
+				budget = w.serveStop(v, budget)
 				continue
 			}
-			if !s.stepToward(v, target, &budget) {
+			if !w.stepToward(v, target, &budget) {
 				return // unreachable target: freeze (cannot happen on connected graphs)
 			}
 		} else {
-			s.cruise(v, &budget)
+			w.cruise(v, &budget)
 		}
 	}
 }
 
 // stepToward advances along the shortest path to target, consuming budget.
 // Returns false if no path exists.
-func (s *Simulator) stepToward(v *vehicle, target roadnet.VertexID, budget *float64) bool {
+func (w *Worker) stepToward(v *Vehicle, target roadnet.VertexID, budget *float64) bool {
 	if v.pathPos >= len(v.path) || v.path[len(v.path)-1] != target || v.path[v.pathPos] != v.loc {
-		v.path = s.oracle.Path(v.loc, target)
+		v.path = w.oracle.Path(v.loc, target)
 		v.pathPos = 0
 		if len(v.path) == 0 {
 			return false
@@ -130,22 +140,22 @@ func (s *Simulator) stepToward(v *vehicle, target roadnet.VertexID, budget *floa
 	}
 	for v.pathPos+1 < len(v.path) && *budget > 1e-9 {
 		next := v.path[v.pathPos+1]
-		w, ok := s.graph.EdgeWeight(v.loc, next)
+		ew, ok := w.graph.EdgeWeight(v.loc, next)
 		if !ok {
 			// Path vertices are always adjacent; defensive only.
-			w = s.oracle.Dist(v.loc, next)
+			ew = w.oracle.Dist(v.loc, next)
 		}
-		if w > *budget {
+		if ew > *budget {
 			// Cannot complete the edge this step; hold position at the
 			// current vertex (vertex-granular motion).
 			*budget = 0
 			return true
 		}
-		*budget -= w
-		v.odo += w
+		*budget -= ew
+		v.odo += ew
 		v.loc = next
 		v.pathPos++
-		s.metrics.TotalVehicleMeters += w
+		w.metrics.TotalVehicleMeters += ew
 		if v.isTree() {
 			v.tree.SetLocation(v.loc, v.odo)
 		}
@@ -154,8 +164,8 @@ func (s *Simulator) stepToward(v *vehicle, target roadnet.VertexID, budget *floa
 }
 
 // cruise moves the idle vehicle along random road segments.
-func (s *Simulator) cruise(v *vehicle, budget *float64) {
-	ts, ws := s.graph.Neighbors(v.loc)
+func (w *Worker) cruise(v *Vehicle, budget *float64) {
+	ts, ws := w.graph.Neighbors(v.loc)
 	if len(ts) == 0 {
 		*budget = 0
 		return
@@ -168,7 +178,7 @@ func (s *Simulator) cruise(v *vehicle, budget *float64) {
 	*budget -= ws[i]
 	v.odo += ws[i]
 	v.loc = ts[i]
-	s.metrics.TotalVehicleMeters += ws[i]
+	w.metrics.TotalVehicleMeters += ws[i]
 	if v.isTree() {
 		// Keep the (empty) tree's root in sync while cruising: the next
 		// trial insertion computes every leg from the tree's location.
@@ -178,7 +188,7 @@ func (s *Simulator) cruise(v *vehicle, budget *float64) {
 
 // serveStop handles arrival at the next scheduled stop and returns the
 // remaining budget (intra-hotspot travel is consumed from it).
-func (s *Simulator) serveStop(v *vehicle, budget float64) float64 {
+func (w *Worker) serveStop(v *Vehicle, budget float64) float64 {
 	if v.isTree() {
 		v.tree.SetLocation(v.loc, v.odo)
 		pre := v.tree.Odo()
@@ -190,9 +200,9 @@ func (s *Simulator) serveStop(v *vehicle, budget float64) float64 {
 		budget -= delta
 		v.odo = v.tree.Odo()
 		v.loc = v.tree.Loc()
-		s.metrics.TotalVehicleMeters += delta
+		w.metrics.TotalVehicleMeters += delta
 		for _, sv := range served {
-			s.accountStop(v, sv.Stop.Kind, sv.Trip, sv.Odo)
+			w.accountStop(v, sv.Stop.Kind, sv.Trip, sv.Odo)
 		}
 		return budget
 	}
@@ -208,7 +218,7 @@ func (s *Simulator) serveStop(v *vehicle, budget float64) float64 {
 		case core.Dropoff:
 			v.done[stop.Trip] = true
 		}
-		s.accountStop(v, stop.Kind, *tr, v.odo)
+		w.accountStop(v, stop.Kind, *tr, v.odo)
 	}
 	if len(v.route) == 0 {
 		v.trips = v.trips[:0]
@@ -218,7 +228,7 @@ func (s *Simulator) serveStop(v *vehicle, budget float64) float64 {
 }
 
 // accountStop updates service metrics when a stop is served at odometer at.
-func (s *Simulator) accountStop(v *vehicle, kind core.StopKind, tr core.TripState, at float64) {
+func (w *Worker) accountStop(v *Vehicle, kind core.StopKind, tr core.TripState, at float64) {
 	switch kind {
 	case core.Pickup:
 		if ob := v.onboard(); ob > v.peakOnboard {
@@ -226,21 +236,21 @@ func (s *Simulator) accountStop(v *vehicle, kind core.StopKind, tr core.TripStat
 		}
 		v.pickupOdo[tr.ID] = at
 		if reqOdo, ok := v.requestOdo[tr.ID]; ok {
-			s.metrics.TotalWaitMeters += at - reqOdo
+			w.metrics.TotalWaitMeters += at - reqOdo
 		}
 		// The trip state carries its own (possibly individualized)
 		// waiting deadline.
 		if at > tr.WaitDeadline+1 {
-			s.metrics.Violations++
+			w.metrics.Violations++
 		}
 	case core.Dropoff:
-		s.metrics.Completed++
+		w.metrics.Completed++
 		if pOdo, ok := v.pickupOdo[tr.ID]; ok {
 			ride := at - pOdo
-			s.metrics.TotalRideMeters += ride
-			s.metrics.TotalShortestLen += tr.ShortestLen
+			w.metrics.TotalRideMeters += ride
+			w.metrics.TotalShortestLen += tr.ShortestLen
 			if ride > tr.MaxRide+1 {
-				s.metrics.Violations++
+				w.metrics.Violations++
 			}
 			delete(v.pickupOdo, tr.ID)
 		}

@@ -74,7 +74,7 @@ func TestServeDeliversPassenger(t *testing.T) {
 			t.Fatalf("%v: request not matched to the only vehicle (matched=%v veh=%d)", algo, matched, veh)
 		}
 		s.advanceTo(v, 4000) // plenty of time to finish
-		if v.busy() {
+		if v.Busy() {
 			t.Fatalf("%v: vehicle still busy after an hour", algo)
 		}
 		if s.metrics.Completed != 1 {

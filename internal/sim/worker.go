@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/sp"
+)
+
+// Worker executes the per-vehicle mechanics of the simulation — movement,
+// trial scheduling, commits, and service accounting — against one oracle and
+// one metrics sink. The sequential Simulator drives a single Worker over the
+// whole fleet; the sharded dispatch engine (internal/dispatch) drives one
+// Worker per shard, each with a private oracle so the non-thread-safe
+// shortest-path caches are never shared across goroutines.
+//
+// A Worker itself is not safe for concurrent use; concurrency comes from
+// running disjoint Workers over disjoint vehicles.
+type Worker struct {
+	cfg     Config // defaults applied
+	graph   *roadnet.Graph
+	oracle  sp.Oracle
+	metrics *Metrics
+	sched   core.Scheduler // shared by this worker's stateless vehicles
+}
+
+// NewWorker builds a worker over the graph in cfg using the given oracle
+// (which may differ from cfg.Oracle when the fleet is sharded) and metrics
+// sink. Stateless algorithms get a scheduler instance private to the worker.
+func NewWorker(cfg Config, oracle sp.Oracle, m *Metrics) *Worker {
+	cfg = cfg.withDefaults()
+	w := &Worker{cfg: cfg, graph: cfg.Graph, oracle: oracle, metrics: m}
+	switch cfg.Algorithm {
+	case AlgoBruteForce:
+		w.sched = core.NewBruteForce(oracle)
+	case AlgoBranchBound:
+		w.sched = core.NewBranchBound(oracle)
+	case AlgoMIP:
+		ms := core.NewMIPScheduler(oracle, cfg.MIPMaxNodes)
+		if cfg.MIPTimeBudget > 0 {
+			ms.SetTimeBudget(cfg.MIPTimeBudget)
+		}
+		w.sched = ms
+	}
+	return w
+}
+
+// Metrics returns the worker's metrics sink.
+func (w *Worker) Metrics() *Metrics { return w.metrics }
+
+// ReportInterval returns the configured seconds between position reports.
+func (w *Worker) ReportInterval() float64 { return w.cfg.ReportInterval }
+
+// CellSize returns the configured spatial-index cell size in meters.
+func (w *Worker) CellSize() float64 { return w.cfg.CellSize }
+
+// Budget resolves the request's waiting budget (in meters) and service
+// constraint, applying per-request overrides over the fleet defaults.
+func (w *Worker) Budget(req Request) (waitMeters, eps float64) {
+	waitMeters = w.cfg.WaitSeconds * roadnet.Speed
+	if req.WaitSeconds > 0 {
+		waitMeters = req.WaitSeconds * roadnet.Speed
+	}
+	eps = w.cfg.Epsilon
+	if req.Epsilon > 0 {
+		eps = req.Epsilon
+	}
+	return waitMeters, eps
+}
+
+// CandidateRadius is the spatial-index search radius for a request with the
+// given waiting budget: the budget plus the maximum drift a vehicle may have
+// accumulated since its last position report.
+func (w *Worker) CandidateRadius(waitMeters float64) float64 {
+	return waitMeters + w.cfg.ReportInterval*roadnet.Speed
+}
+
+// Placement is a vehicle's seed-determined starting state: its initial
+// vertex and the time of its first position report.
+type Placement struct {
+	Loc         roadnet.VertexID
+	FirstReport float64
+}
+
+// Placements returns the initial fleet layout for cfg ("a vehicle is
+// initialized to a random vertex in the city", §VI). The sequential
+// Simulator and the sharded dispatch engine both place their fleets with
+// this, which is what makes their matching decisions comparable
+// bit-for-bit regardless of how the fleet is partitioned.
+func Placements(cfg Config) []Placement {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := int32(cfg.Graph.N())
+	out := make([]Placement, cfg.Servers)
+	for i := range out {
+		out[i] = Placement{
+			Loc:         roadnet.VertexID(rng.Int31n(n)),
+			FirstReport: rng.Float64() * cfg.ReportInterval,
+		}
+	}
+	return out
+}
+
+// NewVehicle creates vehicle id at loc, with the per-vehicle cruise RNG and
+// (for tree algorithms) a kinetic tree bound to this worker's oracle.
+func (w *Worker) NewVehicle(id int, loc roadnet.VertexID) *Vehicle {
+	v := &Vehicle{
+		id:         id,
+		loc:        loc,
+		rng:        rand.New(rand.NewSource(w.cfg.Seed + int64(id) + 1)),
+		requestOdo: make(map[int64]float64),
+		pickupOdo:  make(map[int64]float64),
+	}
+	switch w.cfg.Algorithm {
+	case AlgoTreeBasic, AlgoTreeSlack, AlgoTreeHotspot:
+		opts := core.TreeOptions{
+			Capacity:         w.cfg.Capacity,
+			MaxTreeNodes:     w.cfg.MaxTreeNodes,
+			LazyInvalidation: w.cfg.LazyInvalidation,
+		}
+		if w.cfg.Algorithm != AlgoTreeBasic {
+			opts.Slack = true
+		}
+		if w.cfg.Algorithm == AlgoTreeHotspot {
+			opts.HotspotTheta = w.cfg.HotspotTheta
+		}
+		v.tree = core.NewTree(w.oracle, loc, 0, opts)
+	default:
+		v.sched = w.sched
+	}
+	return v
+}
+
+// Trial is the outcome of a successful trial insertion, ready to Commit on
+// the same vehicle provided no other mutation intervened.
+type Trial struct {
+	Cost     float64
+	treeCand *core.Candidate
+	result   core.Result
+	trip     core.TripState
+}
+
+// Trial trial-schedules req on v, which must already be advanced to the
+// request time. (px, py) are the pickup coordinates; vehicles whose exact
+// position lies beyond the waiting budget are skipped (Euclidean distance
+// lower-bounds network distance on generator graphs). It records trial
+// metrics exactly as the paper's evaluation counts them and reports whether
+// v can serve the request.
+func (w *Worker) Trial(v *Vehicle, req Request, px, py, waitMeters, eps float64) (Trial, bool) {
+	vx, vy := w.graph.Coord(v.loc)
+	if dx, dy := vx-px, vy-py; dx*dx+dy*dy > waitMeters*waitMeters {
+		return Trial{}, false
+	}
+	active := v.activeTrips()
+	trialStart := time.Now()
+	if v.isTree() {
+		trip, err := core.NewTripState(req.ID, req.Pickup, req.Dropoff, waitMeters, eps, v.odo, w.oracle)
+		if err != nil {
+			w.metrics.recordART(active, time.Since(trialStart))
+			return Trial{}, false
+		}
+		cand, ok, err := v.tree.TrialInsert(trip)
+		w.metrics.recordART(active, time.Since(trialStart))
+		if err != nil {
+			// Candidate tree exceeded the size budget: the paper's
+			// basic/slack variants "break off" here (Fig. 9c).
+			w.metrics.OverBudget++
+			w.metrics.TrialFailures++
+			return Trial{}, false
+		}
+		if !ok {
+			w.metrics.TrialFailures++
+			return Trial{}, false
+		}
+		return Trial{Cost: cand.Cost, treeCand: cand, trip: trip}, true
+	}
+	inst, trip, ok := w.buildInstance(v, req, waitMeters, eps)
+	if !ok {
+		w.metrics.recordART(active, time.Since(trialStart))
+		return Trial{}, false
+	}
+	res := v.sched.Schedule(inst)
+	w.metrics.recordART(active, time.Since(trialStart))
+	if !res.OK {
+		w.metrics.TrialFailures++
+		return Trial{}, false
+	}
+	return Trial{Cost: res.Cost, result: res, trip: trip}, true
+}
+
+// Commit adopts a successful trial on v and accounts the match. For tree
+// vehicles the candidate must come from the most recent TrialInsert on v's
+// tree with no intervening commit.
+func (w *Worker) Commit(v *Vehicle, tr Trial) {
+	v.requestOdo[tr.trip.ID] = v.odo
+	if v.isTree() {
+		v.tree.Commit(tr.treeCand)
+		if n := v.tree.Nodes(); n > w.metrics.TreeNodesMax {
+			w.metrics.TreeNodesMax = n
+		}
+	} else {
+		w.commitStateless(v, tr.result, tr.trip)
+	}
+	w.metrics.Matched++
+}
+
+// buildInstance assembles the rescheduling instance for a stateless vehicle:
+// its active trips plus the new request, origin at its current position.
+func (w *Worker) buildInstance(v *Vehicle, req Request, waitMeters, eps float64) (*core.Instance, core.TripState, bool) {
+	trip, err := core.NewTripState(req.ID, req.Pickup, req.Dropoff, waitMeters, eps, v.odo, w.oracle)
+	if err != nil {
+		return nil, core.TripState{}, false
+	}
+	inst := &core.Instance{Origin: v.loc, Odo: v.odo, Capacity: w.cfg.Capacity}
+	for i := range v.trips {
+		if !v.done[i] {
+			inst.Trips = append(inst.Trips, v.trips[i])
+		}
+	}
+	inst.Trips = append(inst.Trips, trip)
+	return inst, trip, true
+}
+
+// commitStateless adopts the scheduler's order on the vehicle. The order's
+// trip indices reference the instance's compacted trip list; they are
+// remapped to the vehicle's slot array.
+func (w *Worker) commitStateless(v *Vehicle, res core.Result, trip core.TripState) {
+	slot := make([]int, 0, len(v.trips)+1)
+	for i := range v.trips {
+		if !v.done[i] {
+			slot = append(slot, i)
+		}
+	}
+	v.trips = append(v.trips, trip)
+	v.done = append(v.done, false)
+	slot = append(slot, len(v.trips)-1)
+	route := make([]core.Stop, len(res.Order))
+	for i, st := range res.Order {
+		st.Trip = slot[st.Trip]
+		route[i] = st
+	}
+	v.route = route
+	v.path = nil
+	v.pathPos = 0
+}
+
+// CheckVehicle verifies the per-vehicle invariants: a consistent kinetic
+// tree and peak occupancy within the configured capacity.
+func (w *Worker) CheckVehicle(v *Vehicle) error {
+	if v.isTree() {
+		if err := v.tree.Validate(); err != nil {
+			return err
+		}
+	}
+	if w.cfg.Capacity > 0 && v.peakOnboard > w.cfg.Capacity {
+		return fmt.Errorf("peak occupancy %d exceeds capacity %d", v.peakOnboard, w.cfg.Capacity)
+	}
+	return nil
+}

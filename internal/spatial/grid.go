@@ -8,6 +8,7 @@ package spatial
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // ObjectID identifies a moving object (a server/vehicle) in the index.
@@ -121,10 +122,16 @@ func (g *GridIndex) Remove(id ObjectID) {
 // confirms candidates, matching the paper's "identifies the vehicles
 // possibly within w of the request, asks the vehicle's actual location, and
 // then tests".
+//
+// The appended candidates are in ascending ObjectID order, so callers that
+// need deterministic iteration (tie-breaking across runs, or merging the
+// per-shard results of a partitioned fleet) can consume them directly
+// without re-sorting.
 func (g *GridIndex) Within(dst []ObjectID, x, y, r float64) []ObjectID {
 	if r < 0 {
 		return dst
 	}
+	start := len(dst)
 	cx0 := int(math.Floor((x - r - g.minX) / g.cellSize))
 	cx1 := int(math.Floor((x + r - g.minX) / g.cellSize))
 	cy0 := int(math.Floor((y - r - g.minY) / g.cellSize))
@@ -148,6 +155,9 @@ func (g *GridIndex) Within(dst []ObjectID, x, y, r float64) []ObjectID {
 			}
 		}
 	}
+	// Cells are map-backed, so the raw walk is in random order.
+	appended := dst[start:]
+	sort.Slice(appended, func(i, j int) bool { return appended[i] < appended[j] })
 	return dst
 }
 

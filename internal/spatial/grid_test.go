@@ -153,3 +153,36 @@ func BenchmarkUpdate(b *testing.B) {
 		g.Update(id, rng.Float64()*50000, rng.Float64()*50000)
 	}
 }
+
+// TestWithinSortedOrder: appended candidates arrive in ascending ObjectID
+// order, and a non-empty dst prefix is left untouched and unsorted-into.
+func TestWithinSortedOrder(t *testing.T) {
+	const size = 3000.0
+	g, err := NewGridIndex(0, 0, size, size, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		g.Insert(ObjectID(i), rng.Float64()*size, rng.Float64()*size)
+	}
+	for q := 0; q < 50; q++ {
+		got := g.Within(nil, rng.Float64()*size, rng.Float64()*size, 400+rng.Float64()*800)
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("query %d: unsorted or duplicate result %v", q, got)
+			}
+		}
+	}
+	// Prefix preservation: only the appended region is sorted.
+	prefix := []ObjectID{9999}
+	got := g.Within(prefix, size/2, size/2, size)
+	if got[0] != 9999 {
+		t.Fatalf("dst prefix clobbered: %v", got[:3])
+	}
+	for i := 2; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("appended region unsorted: %v", got[1:])
+		}
+	}
+}
