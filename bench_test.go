@@ -365,12 +365,80 @@ func BenchmarkDispatchThroughput(b *testing.B) {
 					e.Submit(world.Requests[j])
 				}
 				b.StopTimer()
-				if m := e.Metrics(); m.Matched == 0 {
+				m := e.Metrics()
+				if m.Matched == 0 {
 					b.Fatal("nothing matched")
 				}
+				// Aggregate distance-cache hit rate across the shards, so a
+				// single-core smoke run still shows whether the per-shard
+				// caches are re-learning each other's distances.
+				b.ReportMetric(m.DistCacheHitRate()*100, "dist-hit-%")
 				e.Close()
 				b.StartTimer()
 			}
+			b.ReportMetric(float64(len(world.Requests))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}
+
+// BenchmarkDispatchCacheHitRate: the shared-vs-per-shard distance cache
+// comparison on a multi-shard workload. Both configurations run the same
+// fleet and request stream at 4 workers / 4 shards; "per-shard" gives each
+// shard a cold private LRU (the pre-shared-stack layout), "shared" runs all
+// shards against one striped cache.Shared. The dist-hit-% metric is the
+// aggregate distance-cache hit rate — shared must be at least as high,
+// since every shard's misses feed every other shard — and req/s plus
+// gomaxprocs are emitted so throughput effects on single-core hosts are
+// not misread.
+func BenchmarkDispatchCacheHitRate(b *testing.B) {
+	world, err := exp.BuildWorld(exp.WorldOptions{Scale: 0.008, Trips: 200, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const workers = 4
+	for _, mode := range []string{"per-shard", "shared"} {
+		b.Run("cache="+mode, func(b *testing.B) {
+			var hitRate float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := sim.Config{
+					Graph:     world.Graph,
+					Servers:   1200,
+					Capacity:  4,
+					Algorithm: sim.AlgoTreeSlack,
+					Seed:      9,
+					Workers:   workers,
+				}
+				var e *dispatch.Engine
+				var err error
+				if mode == "shared" {
+					cfg.Oracle = cache.NewShared(func() sp.Oracle {
+						return sp.NewBidirectional(world.Graph)
+					}, world.Graph.N(), 1<<20, 1<<12, 0)
+					e, err = dispatch.New(cfg, nil)
+				} else {
+					e, err = dispatch.New(cfg, func() sp.Oracle {
+						return cache.New(sp.NewBidirectional(world.Graph), world.Graph.N(), 1<<20, 1<<12)
+					})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for j := range world.Requests {
+					e.Submit(world.Requests[j])
+				}
+				b.StopTimer()
+				m := e.Metrics()
+				if m.Matched == 0 {
+					b.Fatal("nothing matched")
+				}
+				hitRate = m.DistCacheHitRate()
+				e.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(hitRate*100, "dist-hit-%")
 			b.ReportMetric(float64(len(world.Requests))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 		})

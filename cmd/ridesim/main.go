@@ -2,12 +2,15 @@
 //
 //	ridesim -scale 0.02 -servers 200 -algo ktree-slack -capacity 6
 //	ridesim -graph city.bin -trips trips.csv -algo branchbound
-//	ridesim -scale 0.02 -servers 2000 -workers 8 -batch 10
+//	ridesim -scale 0.02 -servers 2000 -workers 8 -batch 10 -cache-stripes 64
 //
 // Without -graph/-trips it generates a synthetic city and workload at the
 // requested scale. With -workers/-shards the sharded concurrent dispatch
 // engine (internal/dispatch) replaces the sequential matching loop; -batch
 // additionally matches requests in fixed windows instead of on arrival.
+// Caching backends ("+lru") run all shards against one fleet-wide shared
+// distance cache (cache.Shared); -dist-cache/-path-cache/-cache-stripes
+// size it, and the end-of-run summary reports its hit rates.
 package main
 
 import (
@@ -26,29 +29,56 @@ import (
 	"repro/internal/trace"
 )
 
+// options carries every flag; run takes it whole instead of a parameter
+// per flag.
+type options struct {
+	scale        float64
+	graphPath    string
+	tripsPath    string
+	servers      int
+	capacity     int
+	waitMin      float64
+	epsPct       float64
+	algoName     string
+	theta        float64
+	lazy         bool
+	oracleSel    string
+	seed         int64
+	artOut       bool
+	jsonOut      bool
+	workers      int
+	shards       int
+	batchWin     float64
+	distEntries  int
+	pathEntries  int
+	cacheStripes int
+}
+
 func main() {
-	var (
-		scale     = flag.Float64("scale", 0.02, "synthetic world scale when no -graph is given")
-		graphPath = flag.String("graph", "", "road network file (RNG1 format, see genmap)")
-		tripsPath = flag.String("trips", "", "trip CSV (see gentrips); requires -graph")
-		servers   = flag.Int("servers", 200, "fleet size")
-		capacity  = flag.Int("capacity", 4, "vehicle capacity (0 = unlimited)")
-		waitMin   = flag.Float64("wait", 10, "waiting-time constraint in minutes")
-		epsPct    = flag.Float64("eps", 20, "service constraint in percent extra ride")
-		algoName  = flag.String("algo", "ktree-slack", "matching algorithm: ktree, ktree-slack, ktree-hotspot, bruteforce, branchbound, mip")
-		theta     = flag.Float64("theta", 300, "hotspot radius in meters (ktree-hotspot)")
-		lazy      = flag.Bool("lazy", false, "use lazy tree invalidation (paper §IV-A)")
-		oracleSel = flag.String("oracle", "bidij+lru", "shortest-path backend: dijkstra, bidij, astar, alt, arcflags, hublabels, bidij+lru")
-		seed      = flag.Int64("seed", 1, "random seed")
-		artOut    = flag.Bool("art", false, "print the ART-by-request-count breakdown")
-		jsonOut   = flag.Bool("json", false, "emit metrics as JSON instead of text")
-		workers   = flag.Int("workers", 0, "trial worker-pool size; >1 (or -shards/-batch) selects the concurrent dispatch engine")
-		shards    = flag.Int("shards", 0, "fleet partitions for the dispatch engine (default: one per worker)")
-		batchWin  = flag.Float64("batch", 0, "batch window in seconds; 0 matches each request on arrival")
-	)
+	var o options
+	flag.Float64Var(&o.scale, "scale", 0.02, "synthetic world scale when no -graph is given")
+	flag.StringVar(&o.graphPath, "graph", "", "road network file (RNG1 format, see genmap)")
+	flag.StringVar(&o.tripsPath, "trips", "", "trip CSV (see gentrips); requires -graph")
+	flag.IntVar(&o.servers, "servers", 200, "fleet size")
+	flag.IntVar(&o.capacity, "capacity", 4, "vehicle capacity (0 = unlimited)")
+	flag.Float64Var(&o.waitMin, "wait", 10, "waiting-time constraint in minutes")
+	flag.Float64Var(&o.epsPct, "eps", 20, "service constraint in percent extra ride")
+	flag.StringVar(&o.algoName, "algo", "ktree-slack", "matching algorithm: ktree, ktree-slack, ktree-hotspot, bruteforce, branchbound, mip")
+	flag.Float64Var(&o.theta, "theta", 300, "hotspot radius in meters (ktree-hotspot)")
+	flag.BoolVar(&o.lazy, "lazy", false, "use lazy tree invalidation (paper §IV-A)")
+	flag.StringVar(&o.oracleSel, "oracle", "bidij+lru", "shortest-path backend: dijkstra, bidij, astar, alt, arcflags, hublabels, bidij+lru")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.BoolVar(&o.artOut, "art", false, "print the ART-by-request-count breakdown")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit metrics as JSON instead of text")
+	flag.IntVar(&o.workers, "workers", 0, "trial worker-pool size; >1 (or -shards/-batch) selects the concurrent dispatch engine")
+	flag.IntVar(&o.shards, "shards", 0, "fleet partitions for the dispatch engine (default: one per worker)")
+	flag.Float64Var(&o.batchWin, "batch", 0, "batch window in seconds; 0 matches each request on arrival")
+	flag.IntVar(&o.distEntries, "dist-cache", cache.DefaultDistEntries, "distance-cache capacity in entries (caching backends)")
+	flag.IntVar(&o.pathEntries, "path-cache", cache.DefaultPathEntries, "path-cache capacity in entries (caching backends)")
+	flag.IntVar(&o.cacheStripes, "cache-stripes", 0, "stripe count of the shared distance cache (0 = default, dispatch engine only)")
 	flag.Parse()
 
-	if err := run(*scale, *graphPath, *tripsPath, *servers, *capacity, *waitMin, *epsPct, *algoName, *theta, *lazy, *oracleSel, *seed, *artOut, *jsonOut, *workers, *shards, *batchWin); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ridesim:", err)
 		os.Exit(1)
 	}
@@ -66,29 +96,32 @@ func parseAlgo(name string) (sim.Algorithm, error) {
 	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
-// buildOracle constructs the selected shortest-path backend over g.
-func buildOracle(name string, g *roadnet.Graph) (sp.Oracle, error) {
+// buildEngine constructs the selected shortest-path backend over g and
+// reports whether the selection asked for the LRU caching layer on top.
+func buildEngine(name string, g *roadnet.Graph) (engine func() sp.Oracle, cached bool, err error) {
 	switch name {
 	case "dijkstra":
-		return sp.NewDijkstra(g), nil
+		return func() sp.Oracle { return sp.NewDijkstra(g) }, false, nil
 	case "bidij":
-		return sp.NewBidirectional(g), nil
+		return func() sp.Oracle { return sp.NewBidirectional(g) }, false, nil
 	case "astar":
-		return sp.NewAStar(g), nil
+		return func() sp.Oracle { return sp.NewAStar(g) }, false, nil
 	case "alt":
-		return sp.NewALT(g, 8), nil
+		return func() sp.Oracle { return sp.NewALT(g, 8) }, false, nil
 	case "arcflags":
-		return sp.NewArcFlags(g, 6), nil
+		return func() sp.Oracle { return sp.NewArcFlags(g, 6) }, false, nil
 	case "hublabels":
-		return sp.NewHubLabels(g), nil
+		// Built once and shared: HubLabels is an sp.SharedOracle.
+		hl := sp.NewHubLabels(g)
+		return func() sp.Oracle { return hl }, false, nil
 	case "bidij+lru":
-		return cache.NewDefault(sp.NewBidirectional(g), g.N()), nil
+		return func() sp.Oracle { return sp.NewBidirectional(g) }, true, nil
 	}
-	return nil, fmt.Errorf("unknown oracle %q", name)
+	return nil, false, fmt.Errorf("unknown oracle %q", name)
 }
 
-func run(scale float64, graphPath, tripsPath string, servers, capacity int, waitMin, epsPct float64, algoName string, theta float64, lazy bool, oracleSel string, seed int64, artOut, jsonOut bool, workers, shards int, batchWin float64) error {
-	algo, err := parseAlgo(algoName)
+func run(o options) error {
+	algo, err := parseAlgo(o.algoName)
 	if err != nil {
 		return err
 	}
@@ -96,8 +129,8 @@ func run(scale float64, graphPath, tripsPath string, servers, capacity int, wait
 	var g *roadnet.Graph
 	var reqs []sim.Request
 	switch {
-	case graphPath != "":
-		f, err := os.Open(graphPath)
+	case o.graphPath != "":
+		f, err := os.Open(o.graphPath)
 		if err != nil {
 			return err
 		}
@@ -106,8 +139,8 @@ func run(scale float64, graphPath, tripsPath string, servers, capacity int, wait
 		if err != nil {
 			return err
 		}
-		if tripsPath != "" {
-			tf, err := os.Open(tripsPath)
+		if o.tripsPath != "" {
+			tf, err := os.Open(o.tripsPath)
 			if err != nil {
 				return err
 			}
@@ -117,69 +150,68 @@ func run(scale float64, graphPath, tripsPath string, servers, capacity int, wait
 				return err
 			}
 		} else {
-			reqs, err = trace.Generate(g, trace.GenOptions{Trips: 2000, Seed: seed})
+			reqs, err = trace.Generate(g, trace.GenOptions{Trips: 2000, Seed: o.seed})
 			if err != nil {
 				return err
 			}
 		}
-	case tripsPath != "":
+	case o.tripsPath != "":
 		return fmt.Errorf("-trips requires -graph")
 	default:
-		world, err := exp.BuildWorld(exp.WorldOptions{Scale: scale, Seed: seed})
+		world, err := exp.BuildWorld(exp.WorldOptions{Scale: o.scale, Seed: o.seed})
 		if err != nil {
 			return err
 		}
 		g, reqs = world.Graph, world.Requests
 	}
 
-	if !jsonOut {
+	if !o.jsonOut {
 		fmt.Printf("network: %d vertices, %d edges; %d requests; fleet %d x capacity %d; algo %s\n",
-			g.N(), g.M(), len(reqs), servers, capacity, algo)
+			g.N(), g.M(), len(reqs), o.servers, o.capacity, algo)
+	}
+
+	engine, cached, err := buildEngine(o.oracleSel, g)
+	if err != nil {
+		return err
 	}
 
 	cfg := sim.Config{
 		Graph:            g,
-		Servers:          servers,
-		Capacity:         capacity,
-		WaitSeconds:      waitMin * 60,
-		Epsilon:          epsPct / 100,
+		Servers:          o.servers,
+		Capacity:         o.capacity,
+		WaitSeconds:      o.waitMin * 60,
+		Epsilon:          o.epsPct / 100,
 		Algorithm:        algo,
-		HotspotTheta:     theta,
-		LazyInvalidation: lazy,
-		Seed:             seed,
-		Workers:          workers,
-		Shards:           shards,
-		BatchWindow:      batchWin,
+		HotspotTheta:     o.theta,
+		LazyInvalidation: o.lazy,
+		Seed:             o.seed,
+		Workers:          o.workers,
+		Shards:           o.shards,
+		BatchWindow:      o.batchWin,
 	}
 
 	var m *sim.Metrics
 	var wall time.Duration
-	if workers > 1 || shards > 1 || batchWin > 0 {
-		// The engine builds one oracle per shard through the factory;
-		// building the first one eagerly validates the -oracle name.
-		first, err := buildOracle(oracleSel, g)
-		if err != nil {
-			return err
+	if o.workers > 1 || o.shards > 1 || o.batchWin > 0 {
+		var eng *dispatch.Engine
+		if cached {
+			// One fleet-wide shared distance cache; each shard gets a
+			// facade with a private path cache and inner engine.
+			cfg.Oracle = cache.NewShared(engine, g.N(), o.distEntries, o.pathEntries, o.cacheStripes)
+			eng, err = dispatch.New(cfg, nil)
+		} else {
+			// Uncached backends supply one oracle per shard; for a
+			// SharedOracle backend (hublabels) every call returns the
+			// same safely-shared instance.
+			eng, err = dispatch.New(cfg, dispatch.OracleFactory(engine))
 		}
-		eng, err := dispatch.New(cfg, func() sp.Oracle {
-			if first != nil {
-				o := first
-				first = nil
-				return o
-			}
-			o, err := buildOracle(oracleSel, g)
-			if err != nil {
-				panic(err) // unreachable: name validated by the first build
-			}
-			return o
-		})
 		if err != nil {
 			return err
 		}
 		defer eng.Close()
-		if !jsonOut {
+		if !o.jsonOut {
 			fmt.Printf("dispatch engine: %d workers, %d shards, batch window %gs\n",
-				eng.Workers(), eng.Shards(), batchWin)
+				eng.Workers(), eng.Shards(), o.batchWin)
 		}
 		start := time.Now()
 		m = eng.Run(reqs)
@@ -188,9 +220,10 @@ func run(scale float64, graphPath, tripsPath string, servers, capacity int, wait
 			return fmt.Errorf("invariant violated: %w", err)
 		}
 	} else {
-		cfg.Oracle, err = buildOracle(oracleSel, g)
-		if err != nil {
-			return err
+		if cached {
+			cfg.Oracle = cache.New(engine(), g.N(), o.distEntries, o.pathEntries)
+		} else {
+			cfg.Oracle = engine()
 		}
 		s, err := sim.New(cfg)
 		if err != nil {
@@ -204,7 +237,7 @@ func run(scale float64, graphPath, tripsPath string, servers, capacity int, wait
 		}
 	}
 
-	if jsonOut {
+	if o.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(m.Snapshot())
@@ -212,7 +245,8 @@ func run(scale float64, graphPath, tripsPath string, servers, capacity int, wait
 	fmt.Printf("\n%s\nwall time: %v\n", m, wall.Round(time.Millisecond))
 	max, mean, top := m.OccupancyStats()
 	fmt.Printf("occupancy: max=%d mean=%.2f top20%%=%.2f\n", max, mean, top)
-	if artOut {
+	printCacheStats(m)
+	if o.artOut {
 		fmt.Println("\nART by scheduled requests:")
 		for _, b := range m.ARTBuckets() {
 			d, n := m.ART(b)
@@ -220,4 +254,16 @@ func run(scale float64, graphPath, tripsPath string, servers, capacity int, wait
 		}
 	}
 	return nil
+}
+
+// printCacheStats reports the aggregate shortest-path cache efficacy
+// (summed across all shards for the dispatch engine); silent when the
+// selected backend has no caches.
+func printCacheStats(m *sim.Metrics) {
+	if m.DistCacheHits+m.DistCacheMisses == 0 && m.PathCacheHits+m.PathCacheMisses == 0 {
+		return
+	}
+	fmt.Printf("dist cache: %.1f%% hit (%d hits, %d misses); path cache: %.1f%% hit (%d hits, %d misses)\n",
+		m.DistCacheHitRate()*100, m.DistCacheHits, m.DistCacheMisses,
+		m.PathCacheHitRate()*100, m.PathCacheHits, m.PathCacheMisses)
 }

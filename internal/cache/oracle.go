@@ -75,7 +75,23 @@ func (o *Oracle) Path(u, v roadnet.VertexID) []roadnet.VertexID {
 	}
 	p := o.inner.Path(u, v)
 	o.paths.Put(k, p)
+	// The graph is undirected, so the reverse of a shortest path is a
+	// shortest path (and an unreachable pair is unreachable both ways):
+	// prime the opposite direction as Dist does.
+	o.paths.Put(o.key(v, u), reversePath(p))
 	return p
+}
+
+// reversePath returns a reversed copy of p; nil (unreachable) stays nil.
+func reversePath(p []roadnet.VertexID) []roadnet.VertexID {
+	if p == nil {
+		return nil
+	}
+	r := make([]roadnet.VertexID, len(p))
+	for i, v := range p {
+		r[len(p)-1-i] = v
+	}
+	return r
 }
 
 // DistStats returns hit/miss counts of the distance cache.

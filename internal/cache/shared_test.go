@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/roadnet"
+	"repro/internal/sp"
+)
+
+// The stack's compile-time contracts: Shared is a concurrency-safe oracle
+// and a worker source; the facades are plain per-goroutine oracles.
+var (
+	_ sp.SharedOracle = (*Shared)(nil)
+	_ sp.WorkerSource = (*Shared)(nil)
+	_ sp.Oracle       = (*SharedWorker)(nil)
+	_ sp.SharedOracle = (*sp.Matrix)(nil)
+	_ sp.SharedOracle = (*sp.HubLabels)(nil)
+)
+
+// testGraph is a small connected grid for cache tests.
+func testGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	g, err := roadnet.Grid(roadnet.GridOptions{
+		Rows: 8, Cols: 8, Spacing: 500, Jitter: 0.1, WeightVar: 0.1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	return g
+}
+
+// TestSharedCrossWorkerHits: a distance computed through one worker facade
+// must be a cache hit for every other facade — the whole point of the
+// shared stack.
+func TestSharedCrossWorkerHits(t *testing.T) {
+	g := testGraph(t)
+	var engines []*countingOracle
+	s := NewShared(func() sp.Oracle {
+		e := &countingOracle{inner: sp.NewBidirectional(g)}
+		engines = append(engines, e)
+		return e
+	}, g.N(), 1<<16, 1<<10, 4)
+
+	a, b := s.NewWorker(), s.NewWorker()
+	want := a.Dist(0, 20)
+	if got := b.Dist(0, 20); got != want {
+		t.Fatalf("worker B Dist = %v, worker A computed %v", got, want)
+	}
+	// Symmetric priming: the reverse direction is also a hit.
+	if got := b.Dist(20, 0); got != want {
+		t.Fatalf("reverse Dist = %v, want %v", got, want)
+	}
+	total := 0
+	for _, e := range engines {
+		total += e.dists
+	}
+	if total != 1 {
+		t.Fatalf("inner engines ran %d distance queries, want 1 (the rest served from the shared cache)", total)
+	}
+	hits, misses := s.DistStats()
+	if misses != 1 || hits != 2 {
+		t.Fatalf("DistStats = (%d hits, %d misses), want (2, 1)", hits, misses)
+	}
+}
+
+// TestSharedWorkerPathsArePrivate: path caches are per worker — a path
+// learned by one facade is recomputed by another — and each facade primes
+// its own reverse direction.
+func TestSharedWorkerPathsArePrivate(t *testing.T) {
+	g := testGraph(t)
+	var engines []*countingOracle
+	s := NewShared(func() sp.Oracle {
+		e := &countingOracle{inner: sp.NewBidirectional(g)}
+		engines = append(engines, e)
+		return e
+	}, g.N(), 1<<16, 1<<10, 4)
+
+	a, b := s.NewWorker(), s.NewWorker()
+	p := a.Path(0, 20)
+	if len(p) == 0 || p[0] != 0 || p[len(p)-1] != 20 {
+		t.Fatalf("bad path %v", p)
+	}
+	rev := a.Path(20, 0) // reverse-primed, must not touch the engine
+	if len(rev) != len(p) || rev[0] != 20 || rev[len(rev)-1] != 0 {
+		t.Fatalf("reverse path %v does not mirror %v", rev, p)
+	}
+	if engines[0].paths != 1 {
+		t.Fatalf("worker A engine ran %d path queries, want 1", engines[0].paths)
+	}
+	b.Path(0, 20)
+	if engines[1].paths != 1 {
+		t.Fatalf("worker B engine ran %d path queries, want 1 (path caches are private)", engines[1].paths)
+	}
+	ph, pm := s.PathStats()
+	if ph != 1 || pm != 2 {
+		t.Fatalf("aggregate PathStats = (%d, %d), want (1 hit, 2 misses)", ph, pm)
+	}
+}
+
+// TestSharedDirectFacade: Shared itself answers Dist/Path (pooled engines)
+// and agrees with a plain engine.
+func TestSharedDirectFacade(t *testing.T) {
+	g := testGraph(t)
+	s := NewSharedDefault(func() sp.Oracle { return sp.NewBidirectional(g) }, g.N())
+	ref := sp.NewDijkstra(g)
+	for _, pair := range [][2]roadnet.VertexID{{0, 63}, {5, 40}, {7, 7}} {
+		u, v := pair[0], pair[1]
+		if got, want := s.Dist(u, v), ref.Dist(u, v); got != want {
+			t.Fatalf("Dist(%d,%d) = %v, want %v", u, v, got, want)
+		}
+		p := s.Path(u, v)
+		if p[0] != u || p[len(p)-1] != v {
+			t.Fatalf("Path(%d,%d) endpoints wrong: %v", u, v, p)
+		}
+	}
+}
+
+// TestSharedConcurrent: facades on separate goroutines plus direct Shared
+// queries, under -race. Every worker must observe identical distances.
+func TestSharedConcurrent(t *testing.T) {
+	g := testGraph(t)
+	s := NewShared(func() sp.Oracle { return sp.NewBidirectional(g) }, g.N(), 1<<14, 1<<8, 8)
+	ref := sp.NewDijkstra(g)
+	n := roadnet.VertexID(int32(g.N()))
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		w := s.NewWorker()
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			state := seed
+			for q := 0; q < 300; q++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				u := roadnet.VertexID(uint64(state>>16) % uint64(n))
+				v := roadnet.VertexID(uint64(state>>40) % uint64(n))
+				w.Dist(u, v)
+				if q%29 == 0 {
+					w.Path(u, v)
+				}
+				if q%13 == 0 {
+					s.Dist(v, u) // direct facade racing the workers
+				}
+			}
+			errs <- nil
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The cache must hold exact values: spot-check against Dijkstra.
+	for _, pair := range [][2]roadnet.VertexID{{1, 50}, {10, 33}} {
+		u, v := pair[0], pair[1]
+		if got, want := s.Dist(u, v), ref.Dist(u, v); got != want {
+			t.Fatalf("post-stress Dist(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+	if h, m := s.DistStats(); h+m == 0 {
+		t.Fatal("no distance lookups recorded")
+	}
+}

@@ -1,0 +1,163 @@
+package cache
+
+import "sync"
+
+// DefaultStripes is the stripe count used when callers pass 0 to
+// NewStripedLRU. 32 stripes keep lock contention negligible for worker
+// pools far larger than any host this runs on, at the cost of 32 small
+// mutexes.
+const DefaultStripes = 32
+
+// StripedLRU is a concurrency-safe LRU assembled from independently locked
+// stripes: a key is hashed to one stripe, and that stripe's mutex guards a
+// private single-threaded LRU together with its hit/miss counters. Two
+// lookups contend only when their keys land on the same stripe, so
+// throughput scales with the stripe count until the hash distribution is
+// exhausted.
+//
+// Recency and eviction are per stripe, not global: each stripe evicts its
+// own least-recently-used entry when it fills. With a hash that spreads
+// keys uniformly the behaviour converges to a global LRU as capacity grows,
+// which is the regime the paper's ten-million-entry distance cache lives
+// in.
+//
+// Safe for concurrent use by any number of goroutines.
+type StripedLRU[V any] struct {
+	stripes []lruStripe[V]
+	mask    uint64
+}
+
+// lruStripe pads each lock+LRU pair to a full 64-byte cache line (mutex 8 +
+// pointer 8 + pad 48) so stripes on adjacent indices don't false-share.
+type lruStripe[V any] struct {
+	mu  sync.Mutex
+	lru *LRU[V]
+	_   [64 - 16]byte
+}
+
+// NewStripedLRU returns a striped LRU with the given total capacity spread
+// over the given number of stripes. The stripe count is rounded up to a
+// power of two (0 selects DefaultStripes); capacity below the stripe count
+// is raised so every stripe holds at least one entry.
+func NewStripedLRU[V any](capacity, stripes int) *StripedLRU[V] {
+	if stripes <= 0 {
+		stripes = DefaultStripes
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	perStripe := (capacity + n - 1) / n
+	c := &StripedLRU[V]{
+		stripes: make([]lruStripe[V], n),
+		mask:    uint64(n - 1),
+	}
+	for i := range c.stripes {
+		c.stripes[i].lru = NewLRU[V](perStripe)
+	}
+	return c
+}
+
+// mix is the splitmix64 finalizer. The cache keys id(s)·|V| + id(e) are
+// highly structured (nearby vertices share high bits), so stripe selection
+// needs a real bit mixer or neighbouring queries would pile onto a handful
+// of stripes.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (c *StripedLRU[V]) stripe(key uint64) *lruStripe[V] {
+	return &c.stripes[mix(key)&c.mask]
+}
+
+// Get returns the value stored under key and marks it most recently used
+// within its stripe.
+func (c *StripedLRU[V]) Get(key uint64) (V, bool) {
+	s := c.stripe(key)
+	s.mu.Lock()
+	v, ok := s.lru.Get(key)
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Put stores value under key, evicting the stripe's least recently used
+// entry if that stripe is full.
+func (c *StripedLRU[V]) Put(key uint64, value V) {
+	s := c.stripe(key)
+	s.mu.Lock()
+	s.lru.Put(key, value)
+	s.mu.Unlock()
+}
+
+// Len returns the total number of cached entries across all stripes.
+func (c *StripedLRU[V]) Len() int {
+	total := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		total += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Cap returns the total capacity across all stripes (the requested
+// capacity rounded up to a multiple of the stripe count).
+func (c *StripedLRU[V]) Cap() int {
+	total := 0
+	for i := range c.stripes {
+		total += c.stripes[i].lru.Cap()
+	}
+	return total
+}
+
+// Stripes returns the stripe count.
+func (c *StripedLRU[V]) Stripes() int { return len(c.stripes) }
+
+// Stats returns the cumulative hit and miss counts of Get, aggregated over
+// all stripes. Each stripe's counters are incremented and read under its
+// mutex, so no increment is ever lost; concurrent callers see a sum of
+// per-stripe snapshots taken in stripe order.
+func (c *StripedLRU[V]) Stats() (hits, misses uint64) {
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		h, m := s.lru.Stats()
+		s.mu.Unlock()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookups.
+func (c *StripedLRU[V]) HitRate() float64 {
+	hits, misses := c.Stats()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// checkInvariants validates every stripe's internal consistency; tests call
+// it after concurrent stress.
+func (c *StripedLRU[V]) checkInvariants() error {
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		err := s.lru.checkInvariants()
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

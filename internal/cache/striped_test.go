@@ -1,0 +1,134 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStripedLRUBasic(t *testing.T) {
+	c := NewStripedLRU[int](64, 4)
+	if c.Stripes() != 4 {
+		t.Fatalf("Stripes=%d, want 4", c.Stripes())
+	}
+	if c.Cap() != 64 {
+		t.Fatalf("Cap=%d, want 64", c.Cap())
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put(1, 100)
+	c.Put(2, 200)
+	if v, ok := c.Get(1); !ok || v != 100 {
+		t.Fatalf("Get(1) = (%d, %v), want (100, true)", v, ok)
+	}
+	c.Put(1, 101) // update
+	if v, _ := c.Get(1); v != 101 {
+		t.Fatalf("updated value = %d, want 101", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("Stats = (%d, %d), want (2, 1)", hits, misses)
+	}
+	if got := c.HitRate(); got != 2.0/3.0 {
+		t.Fatalf("HitRate=%v, want 2/3", got)
+	}
+}
+
+func TestStripedLRUStripeRounding(t *testing.T) {
+	// Stripe count rounds up to a power of two; 0 selects the default.
+	if got := NewStripedLRU[int](10, 5).Stripes(); got != 8 {
+		t.Fatalf("stripes(5) rounded to %d, want 8", got)
+	}
+	if got := NewStripedLRU[int](10, 0).Stripes(); got != DefaultStripes {
+		t.Fatalf("stripes(0) = %d, want %d", got, DefaultStripes)
+	}
+	// Tiny capacity still gives every stripe at least one slot.
+	c := NewStripedLRU[int](1, 8)
+	if c.Cap() < c.Stripes() {
+		t.Fatalf("Cap=%d smaller than stripe count %d", c.Cap(), c.Stripes())
+	}
+}
+
+func TestStripedLRUEviction(t *testing.T) {
+	c := NewStripedLRU[int](16, 4)
+	for k := uint64(0); k < 10_000; k++ {
+		c.Put(k, int(k))
+	}
+	if c.Len() > c.Cap() {
+		t.Fatalf("Len=%d exceeds Cap=%d after churn", c.Len(), c.Cap())
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStripedLRUConcurrent is the -race stress test: goroutines hammer
+// overlapping key ranges with Get/Put while others poll Stats/Len, then the
+// counters must account for every single Get losslessly.
+func TestStripedLRUConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		opsEach    = 5_000
+		keyspace   = 1 << 10
+	)
+	c := NewStripedLRU[uint64](256, 8)
+	var gets atomic.Uint64
+	var wg, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers of the aggregate views race against the mutators.
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Stats()
+				c.HitRate()
+				c.Len()
+			}
+		}()
+	}
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			state := seed*0x9e3779b97f4a7c15 + 1
+			for i := 0; i < opsEach; i++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				k := (state >> 16) % keyspace
+				if state&1 == 0 {
+					c.Put(k, k*2)
+					continue
+				}
+				if v, ok := c.Get(k); ok && v != k*2 {
+					t.Errorf("Get(%d) returned %d, want %d", k, v, k*2)
+				}
+				gets.Add(1)
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	hits, misses := c.Stats()
+	if hits+misses != gets.Load() {
+		t.Fatalf("lossy counters: hits+misses = %d, issued %d Gets", hits+misses, gets.Load())
+	}
+	if c.Len() > c.Cap() {
+		t.Fatalf("Len=%d exceeds Cap=%d", c.Len(), c.Cap())
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

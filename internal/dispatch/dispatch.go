@@ -5,13 +5,20 @@
 // request's trial insertions out over a worker pool.
 //
 // Each shard owns its vehicles, their kinetic trees, a private slice of the
-// spatial index, and a private sp.Oracle, so the non-thread-safe LRU caches
-// and search buffers are never shared between goroutines. Trials reduce to
-// the globally cheapest feasible candidate with deterministic tie-breaking
-// (cost, then vehicle ID), and the winner commits on its owning shard. For
-// a fixed seed the engine produces bit-identical match assignments to the
-// sequential sim.Simulator at any worker/shard count, because both drive
-// the same sim.Worker primitives over the same seed-determined fleet.
+// spatial index, and a per-goroutine sp.Oracle, so no unsynchronized oracle
+// state is ever shared between goroutines. The shard oracles come in two
+// flavours: fully private stacks built by an OracleFactory (each shard
+// re-learns every distance), or — preferred — per-shard facades over one
+// fleet-wide cache.Shared stack, so that every shard consults and feeds the
+// same concurrency-safe striped distance cache and a distance learned by
+// one shard (d(pickup, dropoff), say) is a hit for all the others. Trials
+// reduce to the globally cheapest feasible candidate with deterministic
+// tie-breaking (cost, then vehicle ID), and the winner commits on its
+// owning shard. For a fixed seed the engine produces bit-identical match
+// assignments to the sequential sim.Simulator at any worker/shard count
+// and under either cache layout, because both drive the same sim.Worker
+// primitives over the same seed-determined fleet and exact distances do
+// not depend on which cache served them.
 //
 // A batch-window mode (Config.BatchWindow) collects requests for a fixed
 // window and matches the batch greedily in arrival order with intra-batch
@@ -25,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/sim"
 	"repro/internal/sp"
 	"repro/internal/spatial"
@@ -32,7 +40,11 @@ import (
 
 // OracleFactory builds one shortest-path oracle per shard. Factories must
 // return independent instances: shard oracles answer queries concurrently,
-// and the stock sp/cache implementations are not thread-safe.
+// and the stock per-goroutine sp/cache implementations are not
+// thread-safe. A factory that closes over one cache.Shared stack and
+// returns per-shard facades (shared.NewWorker) gives the shards a common
+// distance cache; passing the stack as cfg.Oracle with a nil factory does
+// the same thing (see New).
 type OracleFactory func() sp.Oracle
 
 // Engine is the sharded concurrent dispatcher. The exported methods are
@@ -72,9 +84,15 @@ func (s *shard) vehicle(global int) *sim.Vehicle { return s.vehicles[global/s.ns
 
 // New builds an engine over cfg. cfg.Workers sizes the worker pool
 // (default 1), cfg.Shards the fleet partition count (default = workers).
-// oracles supplies one oracle per shard; it may be nil only when the pool
-// is sequential (Workers <= 1), in which case every shard shares
-// cfg.Oracle.
+// oracles supplies one private oracle per shard. With a nil factory the
+// engine derives the shard oracles from cfg.Oracle by its thread-safety
+// class (see the sp.Oracle taxonomy):
+//
+//   - sp.WorkerSource (e.g. *cache.Shared): every shard gets its own
+//     facade, so all shards consult the single shared distance cache;
+//   - sp.SharedOracle (Matrix, HubLabels): all shards use it directly;
+//   - any other oracle is per-goroutine and only legal when the pool is
+//     sequential (Workers <= 1).
 func New(cfg sim.Config, oracles OracleFactory) (*Engine, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("dispatch: Graph is required")
@@ -94,14 +112,19 @@ func New(cfg sim.Config, oracles OracleFactory) (*Engine, error) {
 		nshards = cfg.Servers
 	}
 	if oracles == nil {
-		if workers > 1 {
-			return nil, fmt.Errorf("dispatch: %d workers need an OracleFactory (oracles are not thread-safe)", workers)
-		}
-		if cfg.Oracle == nil {
+		switch o := cfg.Oracle.(type) {
+		case nil:
 			return nil, fmt.Errorf("dispatch: Oracle or OracleFactory is required")
+		case sp.WorkerSource:
+			oracles = func() sp.Oracle { return o.NewWorkerOracle() }
+		case sp.SharedOracle:
+			oracles = func() sp.Oracle { return o }
+		default:
+			if workers > 1 {
+				return nil, fmt.Errorf("dispatch: %d workers need an OracleFactory or a concurrency-safe cfg.Oracle (per-goroutine oracles cannot be shared)", workers)
+			}
+			oracles = func() sp.Oracle { return o }
 		}
-		shared := cfg.Oracle
-		oracles = func() sp.Oracle { return shared }
 	}
 
 	e := &Engine{
@@ -372,15 +395,50 @@ func (e *Engine) eachVehicle(fn func(v *sim.Vehicle)) {
 }
 
 // Metrics merges the engine's request-level counters with the per-shard
-// trial and service metrics. Shards merge in shard order, so the result is
-// deterministic for a fixed shard count.
+// trial and service metrics, and folds in the aggregate shortest-path
+// cache counters across every distinct oracle stack the shards use.
+// Shards merge in shard order, so the result is deterministic for a fixed
+// shard count.
 func (e *Engine) Metrics() *sim.Metrics {
 	out := sim.NewMetrics()
 	out.Merge(e.metrics)
 	for _, s := range e.shards {
 		out.Merge(s.w.Metrics())
 	}
+	out.SetCacheStats(e.cacheStats())
 	return out
+}
+
+// cacheStats sums hit/miss counters over the distinct cache stacks behind
+// the shard oracles. A cache.SharedWorker facade resolves to its fleet-wide
+// stack, and stacks shared by several shards (one cache.Shared, or one
+// oracle instance reused across shards) are counted once. Must be called
+// from the driving goroutine between fan-outs, when the shards are
+// quiescent.
+func (e *Engine) cacheStats() (distHits, distMisses, pathHits, pathMisses uint64) {
+	seen := make(map[sim.CacheStatser]bool, len(e.shards))
+	for _, s := range e.shards {
+		o := s.w.Oracle()
+		var cs sim.CacheStatser
+		if w, ok := o.(*cache.SharedWorker); ok {
+			cs = w.Shared() // aggregates the striped cache and all facades
+		} else if c, ok := o.(sim.CacheStatser); ok {
+			cs = c
+		} else {
+			continue
+		}
+		if seen[cs] {
+			continue
+		}
+		seen[cs] = true
+		dh, dm := cs.DistStats()
+		ph, pm := cs.PathStats()
+		distHits += dh
+		distMisses += dm
+		pathHits += ph
+		pathMisses += pm
+	}
+	return
 }
 
 // CheckInvariants verifies the cross-cutting invariants over the whole

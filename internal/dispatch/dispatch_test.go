@@ -183,6 +183,72 @@ func algoLabel(a sim.Algorithm, workers, shards int) string {
 	return a.String() + "/w" + string(rune('0'+workers)) + "s" + string(rune('0'+shards))
 }
 
+// TestSharedCacheEquivalence: assignments must be bit-identical whether the
+// shards run cold private caches (OracleFactory) or one fleet-wide shared
+// distance cache (cache.Shared via cfg.Oracle), at 1/4/8 workers — exact
+// distances do not depend on which cache served them. The shared
+// configuration must also report an aggregate hit rate at least as high as
+// the per-shard one on the multi-shard runs.
+func TestSharedCacheEquivalence(t *testing.T) {
+	g, factory, reqs := testWorld(t, 120)
+
+	run := func(workers int, shared bool) ([]int, *sim.Metrics) {
+		cfg := baseConfig(g, factory, sim.AlgoTreeSlack)
+		cfg.Workers = workers
+		cfg.Shards = workers
+		var e *Engine
+		var err error
+		if shared {
+			cfg.Oracle = cache.NewShared(func() sp.Oracle {
+				return sp.NewBidirectional(g)
+			}, g.N(), 1<<20, 1<<14, 8)
+			e, err = New(cfg, nil)
+		} else {
+			e, err = New(cfg, factory)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		got := make([]int, len(reqs))
+		for i, r := range reqs {
+			matched, veh := e.Submit(r)
+			if !matched {
+				veh = -1
+			}
+			got[i] = veh
+		}
+		e.Drain()
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("workers=%d shared=%v: invariants: %v", workers, shared, err)
+		}
+		return got, e.Metrics()
+	}
+
+	want, _ := run(1, false)
+	for _, workers := range []int{1, 4, 8} {
+		perShard, pm := run(workers, false)
+		sharedGot, sm := run(workers, true)
+		for i := range want {
+			if perShard[i] != want[i] {
+				t.Fatalf("workers=%d per-shard: request %d assigned to %d, baseline chose %d",
+					workers, i, perShard[i], want[i])
+			}
+			if sharedGot[i] != want[i] {
+				t.Fatalf("workers=%d shared-cache: request %d assigned to %d, baseline chose %d",
+					workers, i, sharedGot[i], want[i])
+			}
+		}
+		if sm.DistCacheHits+sm.DistCacheMisses == 0 {
+			t.Fatalf("workers=%d: shared run reported no distance-cache traffic", workers)
+		}
+		if workers > 1 && sm.DistCacheHitRate() < pm.DistCacheHitRate() {
+			t.Errorf("workers=%d: shared hit rate %.4f below per-shard %.4f",
+				workers, sm.DistCacheHitRate(), pm.DistCacheHitRate())
+		}
+	}
+}
+
 // TestBatchDeterminismAcrossWorkers: batch-window matching is defined by a
 // deterministic greedy pass, so assignments must be identical at every
 // worker/shard count.

@@ -47,6 +47,23 @@ type Metrics struct {
 
 	TotalVehicleMeters float64 // fleet distance traveled
 	TreeNodesMax       int     // largest committed kinetic tree observed
+
+	// Shortest-path cache counters (paper §VI: the two LRU caches), set
+	// from the engine's oracle stack when it exposes them — aggregated
+	// across all shards/workers for the dispatch engine. Zero everywhere
+	// when the oracle has no caches.
+	DistCacheHits   uint64
+	DistCacheMisses uint64
+	PathCacheHits   uint64
+	PathCacheMisses uint64
+}
+
+// CacheStatser is implemented by caching oracle stacks that report
+// cumulative hit/miss counters (cache.Oracle, cache.Shared). The engines
+// use it to fold cache efficacy into their Metrics.
+type CacheStatser interface {
+	DistStats() (hits, misses uint64)
+	PathStats() (hits, misses uint64)
 }
 
 func newMetrics() *Metrics {
@@ -123,6 +140,39 @@ func (m *Metrics) Merge(o *Metrics) {
 	if o.TreeNodesMax > m.TreeNodesMax {
 		m.TreeNodesMax = o.TreeNodesMax
 	}
+	m.DistCacheHits += o.DistCacheHits
+	m.DistCacheMisses += o.DistCacheMisses
+	m.PathCacheHits += o.PathCacheHits
+	m.PathCacheMisses += o.PathCacheMisses
+}
+
+// SetCacheStats overwrites the cache counters from an oracle stack's
+// cumulative counts. Set, not add: the counters are lifetime totals read
+// from the stack, so re-reading must stay idempotent.
+func (m *Metrics) SetCacheStats(distHits, distMisses, pathHits, pathMisses uint64) {
+	m.DistCacheHits = distHits
+	m.DistCacheMisses = distMisses
+	m.PathCacheHits = pathHits
+	m.PathCacheMisses = pathMisses
+}
+
+// DistCacheHitRate returns the distance-cache hit rate, or 0 before any
+// lookups.
+func (m *Metrics) DistCacheHitRate() float64 {
+	return hitRate(m.DistCacheHits, m.DistCacheMisses)
+}
+
+// PathCacheHitRate returns the path-cache hit rate, or 0 before any
+// lookups.
+func (m *Metrics) PathCacheHitRate() float64 {
+	return hitRate(m.PathCacheHits, m.PathCacheMisses)
+}
+
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 func (m *Metrics) recordART(active int, d time.Duration) {
@@ -193,6 +243,13 @@ type Snapshot struct {
 	OccupancyMean float64     `json:"occupancy_mean"`
 	OccupancyTop  float64     `json:"occupancy_top20_mean"`
 	TreeNodesMax  int         `json:"tree_nodes_max"`
+
+	DistCacheHits    uint64  `json:"dist_cache_hits"`
+	DistCacheMisses  uint64  `json:"dist_cache_misses"`
+	DistCacheHitRate float64 `json:"dist_cache_hit_rate"`
+	PathCacheHits    uint64  `json:"path_cache_hits"`
+	PathCacheMisses  uint64  `json:"path_cache_misses"`
+	PathCacheHitRate float64 `json:"path_cache_hit_rate"`
 }
 
 // ARTBucket is one ART histogram bucket in a Snapshot.
@@ -223,6 +280,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		OccupancyMean: mean,
 		OccupancyTop:  top,
 		TreeNodesMax:  m.TreeNodesMax,
+
+		DistCacheHits:    m.DistCacheHits,
+		DistCacheMisses:  m.DistCacheMisses,
+		DistCacheHitRate: m.DistCacheHitRate(),
+		PathCacheHits:    m.PathCacheHits,
+		PathCacheMisses:  m.PathCacheMisses,
+		PathCacheHitRate: m.PathCacheHitRate(),
 	}
 	for _, b := range m.ARTBuckets() {
 		d, n := m.ART(b)

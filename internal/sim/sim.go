@@ -176,8 +176,17 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// Metrics returns the accumulated measurements.
-func (s *Simulator) Metrics() *Metrics { return s.metrics }
+// Metrics returns the accumulated measurements. When the oracle stack
+// reports cache counters they are refreshed into the metrics here, so the
+// snapshot always carries the current cache efficacy.
+func (s *Simulator) Metrics() *Metrics {
+	if cs, ok := s.oracle.(CacheStatser); ok {
+		dh, dm := cs.DistStats()
+		ph, pm := cs.PathStats()
+		s.metrics.SetCacheStats(dh, dm, ph, pm)
+	}
+	return s.metrics
+}
 
 // advanceTo forwards to the worker; kept as a method because motion tests
 // exercise it directly.
@@ -272,7 +281,7 @@ func (s *Simulator) Run(reqs []Request) *Metrics {
 		s.Submit(reqs[i])
 	}
 	s.Drain()
-	return s.metrics
+	return s.Metrics()
 }
 
 // Drain advances every vehicle until its committed schedule is finished, so

@@ -14,8 +14,10 @@ import (
 // trial scheduling, commits, and service accounting — against one oracle and
 // one metrics sink. The sequential Simulator drives a single Worker over the
 // whole fleet; the sharded dispatch engine (internal/dispatch) drives one
-// Worker per shard, each with a private oracle so the non-thread-safe
-// shortest-path caches are never shared across goroutines.
+// Worker per shard, each with its own per-goroutine oracle — a fully
+// private engine, or a cache.SharedWorker facade whose distance lookups go
+// through the fleet-wide concurrency-safe cache — so no unsynchronized
+// oracle state is ever shared across goroutines.
 //
 // A Worker itself is not safe for concurrent use; concurrency comes from
 // running disjoint Workers over disjoint vehicles.
@@ -50,6 +52,10 @@ func NewWorker(cfg Config, oracle sp.Oracle, m *Metrics) *Worker {
 
 // Metrics returns the worker's metrics sink.
 func (w *Worker) Metrics() *Metrics { return w.metrics }
+
+// Oracle returns the worker's shortest-path oracle; the dispatch engine
+// uses it to aggregate cache statistics across shards.
+func (w *Worker) Oracle() sp.Oracle { return w.oracle }
 
 // ReportInterval returns the configured seconds between position reports.
 func (w *Worker) ReportInterval() float64 { return w.cfg.ReportInterval }

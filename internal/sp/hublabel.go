@@ -2,6 +2,7 @@ package sp
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/roadnet"
 )
@@ -14,15 +15,18 @@ import (
 // vertices and their distance to them", §VI).
 //
 // Each vertex stores a sorted list of (hub, distance) pairs; a distance
-// query intersects the two endpoint lists in a single merge pass. Distance
-// queries are safe for concurrent use after construction. Path queries fall
-// back to an internal A* engine and are not concurrency-safe.
+// query intersects the two endpoint lists in a single merge pass.
+// HubLabels is a SharedOracle: distance queries read the immutable labels
+// and are safe for unsynchronized concurrent use, while path queries fall
+// back to an internal A* engine serialized by a mutex.
 type HubLabels struct {
 	g      *roadnet.Graph
 	hubs   [][]int32   // per-vertex sorted hub ranks
 	dists  [][]float64 // parallel distances
-	astar  *AStar      // for Path
 	labels int         // total label entries, for stats
+
+	pathMu sync.Mutex
+	astar  *AStar // for Path; guarded by pathMu
 }
 
 // NewHubLabels builds the index. Vertices are ranked by degree (descending,
@@ -155,9 +159,15 @@ func (hl *HubLabels) Dist(u, v roadnet.VertexID) float64 {
 // Hub labels certify distances; explicit paths are recovered on demand,
 // matching the paper's design where "a second version of the road network is
 // stored in memory in a weighted adjacency list" for route tracking.
+// Concurrent calls serialize on an internal mutex.
 func (hl *HubLabels) Path(u, v roadnet.VertexID) []roadnet.VertexID {
+	hl.pathMu.Lock()
+	defer hl.pathMu.Unlock()
 	return hl.astar.Path(u, v)
 }
+
+// ConcurrencySafe marks HubLabels as a SharedOracle.
+func (hl *HubLabels) ConcurrencySafe() {}
 
 // AvgLabelSize returns the mean number of label entries per vertex, a
 // standard index-quality statistic.

@@ -2,6 +2,7 @@ package sp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/roadnet"
 )
@@ -11,13 +12,16 @@ import (
 // memory, so it is intended for tests (cross-validating the other engines)
 // and for tiny scheduling instances, not for city-scale graphs.
 //
-// Matrix.Dist is safe for concurrent use; Matrix.Path is not (it reuses a
-// Dijkstra engine).
+// Matrix is a SharedOracle: Dist reads the immutable matrix and is safe for
+// unsynchronized concurrent use; Path serializes on an internal mutex
+// around the shared Dijkstra engine.
 type Matrix struct {
 	g    *roadnet.Graph
 	n    int
 	dist []float64 // n*n row-major
-	dij  *Dijkstra // for Path reconstruction
+
+	pathMu sync.Mutex
+	dij    *Dijkstra // for Path reconstruction; guarded by pathMu
 }
 
 // MaxMatrixVertices caps the graph size accepted by NewMatrix to avoid
@@ -67,6 +71,12 @@ func (m *Matrix) Dist(u, v roadnet.VertexID) float64 {
 }
 
 // Path returns a shortest path from u to v via an on-demand Dijkstra.
+// Concurrent calls serialize on an internal mutex.
 func (m *Matrix) Path(u, v roadnet.VertexID) []roadnet.VertexID {
+	m.pathMu.Lock()
+	defer m.pathMu.Unlock()
 	return m.dij.Path(u, v)
 }
+
+// ConcurrencySafe marks Matrix as a SharedOracle.
+func (m *Matrix) ConcurrencySafe() {}

@@ -17,10 +17,21 @@ import (
 
 // Oracle answers shortest-path queries on a road network.
 //
-// Implementations in this package are NOT safe for concurrent use unless
-// stated otherwise: they reuse internal search buffers across queries, which
-// is what makes the simulator's millions of queries cheap. Wrap with one
-// oracle per goroutine if needed.
+// Thread-safety taxonomy. Every oracle in the system falls into one of two
+// documented classes:
+//
+//   - Per-goroutine engines (Dijkstra, Bidirectional, AStar, ALT,
+//     ArcFlags, cache.Oracle): NOT safe for concurrent use. They reuse
+//     internal search buffers across queries, which is what makes the
+//     simulator's millions of queries cheap. Every concurrent user needs
+//     its own instance.
+//   - SharedOracle implementations (Matrix, HubLabels, cache.Shared):
+//     safe for concurrent use by any number of goroutines; see
+//     SharedOracle for the exact guarantee.
+//
+// A WorkerSource bridges the two classes: it is shared state that hands
+// out per-goroutine facades, so a worker pool can amortize one cache
+// across all workers while keeping each worker's hot path single-threaded.
 type Oracle interface {
 	// Dist returns the shortest-path cost from u to v in meters,
 	// or +Inf if v is unreachable from u.
@@ -29,6 +40,36 @@ type Oracle interface {
 	// (inclusive of both endpoints), or nil if unreachable.
 	// Path(u, u) returns [u].
 	Path(u, v roadnet.VertexID) []roadnet.VertexID
+}
+
+// SharedOracle is an Oracle that is additionally safe for concurrent use:
+// Dist and Path may be called from any number of goroutines with no
+// external locking. Dist must be wait-free or near it (it is the hot
+// query); Path may serialize internally, since path reconstruction is
+// orders of magnitude rarer (the paper caches ten million distances but
+// only ten thousand paths, §VI).
+//
+// Implementations: Matrix and HubLabels (immutable distance structures,
+// mutex-serialized path engines) and cache.Shared (striped concurrent
+// distance cache over pooled engines).
+type SharedOracle interface {
+	Oracle
+	// ConcurrencySafe is a compile-time marker carrying the guarantee
+	// above; it does nothing at runtime.
+	ConcurrencySafe()
+}
+
+// WorkerSource is implemented by oracle stacks that hand out per-goroutine
+// Oracle facades over shared concurrency-safe state (see cache.Shared).
+// Each facade is itself a per-goroutine engine — its hot path touches
+// worker-private buffers and caches — but all facades consult the same
+// shared distance cache, so work done by one worker is visible to all.
+// The sharded dispatch engine builds one facade per shard from a
+// WorkerSource instead of requiring a factory of cold private oracles.
+type WorkerSource interface {
+	// NewWorkerOracle returns a facade for the exclusive use of one
+	// goroutine. Facades may be created concurrently.
+	NewWorkerOracle() Oracle
 }
 
 // Inf is the distance reported for unreachable vertex pairs.
