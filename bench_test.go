@@ -261,7 +261,10 @@ func simBenchmark(b *testing.B, algo sim.Algorithm, servers, capacity int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		m := s.Run(w.reqs)
+		m, err := s.Run(w.reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if m.Violations != 0 {
 			b.Fatalf("service violations: %d", m.Violations)
 		}
@@ -486,6 +489,63 @@ func BenchmarkDispatchBatchThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchConflictRepair: dense batch windows on a scarce fleet —
+// the worst case for intra-batch conflicts, and the tail-latency hot spot
+// batching is meant to fix. Incremental repair re-trials only the
+// candidates dirtied by earlier commits in the flush and merges them with
+// the surviving clean phase-1 trials; `trials-saved` counts the trial
+// insertions a full re-fan-out would have re-run per run, and
+// `saved/conflict` is the per-conflicted-request reduction (strictly
+// positive whenever a conflicted request had any clean or infeasible
+// candidates). Run under -race in CI so the repair path's shard fan-out is
+// exercised by the detector.
+func BenchmarkBatchConflictRepair(b *testing.B) {
+	world, err := exp.BuildWorld(exp.WorldOptions{Scale: 0.008, Trips: 200, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func() sp.Oracle {
+		return cache.New(sp.NewBidirectional(world.Graph), world.Graph.N(), 1<<20, 1<<12)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var m *sim.Metrics
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := sim.Config{
+					Graph:       world.Graph,
+					Servers:     60, // scarce: every window contends for the same vehicles
+					Capacity:    4,
+					Algorithm:   sim.AlgoTreeSlack,
+					Seed:        9,
+					Workers:     workers,
+					BatchWindow: 300,
+				}
+				e, err := dispatch.New(cfg, factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for j := range world.Requests {
+					e.Enqueue(world.Requests[j])
+				}
+				e.Flush()
+				b.StopTimer()
+				m = e.Metrics()
+				if m.ConflictsRepaired == 0 {
+					b.Fatal("no conflicts repaired — the workload never exercised the repair path")
+				}
+				e.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(m.ConflictsRepaired), "conflicts")
+			b.ReportMetric(float64(m.RetrialTrialsSaved), "trials-saved")
+			b.ReportMetric(float64(m.RetrialTrialsSaved)/float64(m.ConflictsRepaired), "saved/conflict")
+			b.ReportMetric(float64(len(world.Requests))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
 // BenchmarkOccupancy: unlimited-capacity run reporting the occupancy stats
 // of §VI-B alongside the timing.
 func BenchmarkOccupancy(b *testing.B) {
@@ -502,7 +562,10 @@ func BenchmarkOccupancy(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		m := s.Run(w.reqs)
+		m, err := s.Run(w.reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		max, mean, top := m.OccupancyStats()
 		b.ReportMetric(float64(max), "peak-max")
 		b.ReportMetric(mean, "peak-mean")

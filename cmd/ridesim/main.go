@@ -214,8 +214,11 @@ func run(o options) error {
 				eng.Workers(), eng.Shards(), o.batchWin)
 		}
 		start := time.Now()
-		m = eng.Run(reqs)
+		m, err = eng.Run(reqs)
 		wall = time.Since(start)
+		if err != nil {
+			return err
+		}
 		if err := eng.CheckInvariants(); err != nil {
 			return fmt.Errorf("invariant violated: %w", err)
 		}
@@ -230,8 +233,11 @@ func run(o options) error {
 			return err
 		}
 		start := time.Now()
-		m = s.Run(reqs)
+		m, err = s.Run(reqs)
 		wall = time.Since(start)
+		if err != nil {
+			return err
+		}
 		if err := s.CheckInvariants(); err != nil {
 			return fmt.Errorf("invariant violated: %w", err)
 		}
@@ -245,6 +251,10 @@ func run(o options) error {
 	fmt.Printf("\n%s\nwall time: %v\n", m, wall.Round(time.Millisecond))
 	max, mean, top := m.OccupancyStats()
 	fmt.Printf("occupancy: max=%d mean=%.2f top20%%=%.2f\n", max, mean, top)
+	if o.batchWin > 0 {
+		fmt.Printf("batch repair: %d conflicts repaired incrementally, %d retrial insertions saved vs full re-fan-out\n",
+			m.ConflictsRepaired, m.RetrialTrialsSaved)
+	}
 	printCacheStats(m)
 	if o.artOut {
 		fmt.Println("\nART by scheduled requests:")

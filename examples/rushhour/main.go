@@ -39,8 +39,11 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		m := s.Run(world.Requests)
+		m, err := s.Run(world.Requests)
 		wall := time.Since(start)
+		if err != nil {
+			log.Fatalf("%s: %v", algo, err)
+		}
 		if err := s.CheckInvariants(); err != nil {
 			log.Fatalf("%s: %v", algo, err)
 		}

@@ -249,9 +249,13 @@ func (t *Tree) TrialInsert(trip TripState) (*Candidate, bool, error) {
 	}, true, nil
 }
 
-// Commit adopts a candidate produced by TrialInsert on this tree. The
-// candidate must have been produced by the most recent TrialInsert on this
-// tree with no intervening mutations.
+// Commit adopts a candidate produced by TrialInsert on this tree since
+// the tree's last mutation (a Commit, Advance, or SetLocation).
+// Intervening TrialInserts are harmless — they leave the tree untouched,
+// so any number of candidates may be held and one of them committed (the
+// batch planner retains candidates across a whole flush this way); the
+// tripIdx check below rejects exactly the candidates that predate a
+// mutation.
 func (t *Tree) Commit(c *Candidate) {
 	if c.tripIdx != len(t.trips) {
 		panic("core: Commit with stale candidate")

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"repro/internal/sim"
-	"repro/internal/spatial"
 )
 
 // Batch-window matching: instead of dispatching every request the moment it
@@ -18,11 +17,17 @@ import (
 // Enqueue adds a request to the current batch window. If the request's
 // arrival time falls past the window boundary, the pending batch is flushed
 // at the boundary first. Immediate-mode engines (BatchWindow <= 0) simply
-// dispatch the request.
+// dispatch the request. A timestamp earlier than the engine clock is
+// clamped to it, exactly as Submit does — otherwise a late-arriving
+// request after a flush would drag the next window's start time backwards
+// and distort every boundary that follows.
 func (e *Engine) Enqueue(req sim.Request) {
 	if e.cfg.BatchWindow <= 0 {
 		e.Submit(req)
 		return
+	}
+	if req.Time < e.clock {
+		req.Time = e.clock // tolerate slightly out-of-order input
 	}
 	if len(e.pending) == 0 {
 		e.batchStart = req.Time
@@ -69,18 +74,24 @@ func (e *Engine) Flush() {
 //
 // Phase 1 fans out: each shard runs every request's trial insertions over
 // its own vehicles, all against the quiescent start-of-flush state, and
-// records each request's candidate vehicle set. Phase 2 walks the batch
-// greedily in arrival order: a request none of whose candidates have been
-// committed to this flush keeps its phase-1 result (trial candidates stay
-// valid until their vehicle mutates, and commits don't move vehicles, so
-// candidate sets are stable for the whole flush); a request with a dirty
-// candidate re-fans its trials out against the updated fleet, because a
-// committed vehicle's incremental cost for a later request may have
-// changed in either direction. A request rejected in phase 1 stays
-// rejected — adding a trip to a tree never makes a previously infeasible
-// insertion feasible. The outcome is exactly the matching a sequential
-// greedy pass over the batch would produce, at fan-out parallelism, and is
-// therefore identical at every worker/shard count.
+// retains every feasible candidate's trial outcome — not just the
+// per-shard best. Phase 2 walks the batch greedily in arrival order. A
+// request none of whose feasible candidates have been committed to this
+// flush keeps its cheapest retained trial (trial candidates stay valid
+// until their vehicle mutates, and commits don't move vehicles, so
+// candidate sets are stable for the whole flush). A request with dirty
+// candidates is repaired incrementally: only the dirty
+// previously-feasible candidates are re-trialed on their owning shards —
+// a committed vehicle's incremental cost for a later request may have
+// changed in either direction — and the fresh results are merged with the
+// surviving clean trials under the same deterministic (cost, vehicle ID)
+// total order. Candidates infeasible at the start of the flush are never
+// revisited, and a request rejected in phase 1 stays rejected: adding a
+// trip to a schedule never makes a previously infeasible insertion
+// feasible. The outcome is exactly the matching a sequential greedy pass
+// over the batch would produce — a full re-fan-out would merely recompute
+// the clean trials and get identical results — at fan-out parallelism,
+// and is therefore identical at every worker/shard count.
 func (e *Engine) flushAt(t float64) {
 	batch := e.pending
 	e.pending = nil
@@ -89,7 +100,6 @@ func (e *Engine) flushAt(t float64) {
 	}
 	e.clock = t
 
-	started := time.Now()
 	waits := make([]float64, len(batch))
 	epss := make([]float64, len(batch))
 	radii := make([]float64, len(batch))
@@ -102,38 +112,77 @@ func (e *Engine) flushAt(t float64) {
 		pxs[i], pys[i] = e.cfg.Graph.Coord(batch[i].Pickup)
 	}
 
-	// Phase 1: per-shard bests and candidate sets for every request.
-	bests := make([][]shardBest, len(batch))
-	cands := make([][][]spatial.ObjectID, len(batch))
-	for i := range bests {
-		bests[i] = make([]shardBest, len(e.shards))
-		cands[i] = make([][]spatial.ObjectID, len(e.shards))
+	// Phase 1: retained per-vehicle trial outcomes for every request, with
+	// per-request search time so ACRT stays attributable per request the
+	// way immediate mode records it. Retention trades memory for repair
+	// speed: a dense window holds O(requests × feasible candidates)
+	// trials (each tree-mode trial a full candidate tree) instead of the
+	// per-shard bests alone, released request by request as phase 2
+	// consumes them.
+	p1 := make([][]phase1, len(batch))
+	durs := make([][]time.Duration, len(batch))
+	for i := range p1 {
+		p1[i] = make([]phase1, len(e.shards))
+		durs[i] = make([]time.Duration, len(e.shards))
 	}
 	e.parallel(func(s *shard) {
 		s.drainReportsUntil(&e.cfg, t)
 		for i, req := range batch {
-			bests[i][s.id], cands[i][s.id] = s.trial(&e.cfg, req, pxs[i], pys[i], waits[i], epss[i], radii[i], true)
+			started := time.Now()
+			p1[i][s.id] = s.trialRetain(&e.cfg, req, pxs[i], pys[i], waits[i], epss[i], radii[i])
+			durs[i][s.id] = time.Since(started)
 		}
 	})
-	e.metrics.AddACRT(time.Since(started))
 
-	// Phase 2: greedy arrival-order commits with conflict resolution.
+	// Phase 2: greedy arrival-order commits with incremental conflict
+	// repair.
 	dirty := make(map[int]bool)
+	dirtyIDs := make([][]int, len(e.shards)) // per-shard retrial sets (scratch)
+	fresh := make([]shardBest, len(e.shards))
+	needy := make([]*shard, 0, len(e.shards)) // shards with dirty candidates (scratch)
 	for i, req := range batch {
 		e.metrics.Requests++
-		best := reduce(bests[i])
-		if best.veh >= 0 && conflicted(cands[i], dirty) {
-			// A candidate was taken by an earlier request in this batch;
-			// re-run the fan-out against the updated fleet.
-			retrial := time.Now()
-			fresh := make([]shardBest, len(e.shards))
-			req := req
-			e.parallel(func(s *shard) {
-				fresh[s.id], _ = s.trial(&e.cfg, req, pxs[i], pys[i], waits[i], epss[i], radii[i], false)
-			})
-			best = reduce(fresh)
-			e.metrics.AddACRT(time.Since(retrial))
+		// Per-request search latency, attributed the way immediate mode
+		// records it: the shards ran this request's phase-1 trials
+		// concurrently when a pool exists (wall ≈ the slowest shard) and
+		// back-to-back otherwise (wall = the sum), plus the repair
+		// retrial's wall time below.
+		var search time.Duration
+		for _, d := range durs[i] {
+			if e.tasks == nil {
+				search += d
+			} else if d > search {
+				search = d
+			}
 		}
+		best, dirtyCount, trialed := planRequest(p1[i], dirty, dirtyIDs)
+		p1[i] = nil // retained trials for this request are consumed; release
+		if dirtyCount > 0 {
+			// Incremental repair: re-trial only the dirty candidates on
+			// their owning shards — usually one shard, run inline — and
+			// merge with the surviving clean trials. A full re-fan-out
+			// would have re-run all `trialed` insertions for this request.
+			retrial := time.Now()
+			needy = needy[:0]
+			for sid, ids := range dirtyIDs {
+				if len(ids) > 0 {
+					needy = append(needy, e.shards[sid])
+				}
+			}
+			req := req
+			e.parallelOn(needy, func(s *shard) {
+				fresh[s.id] = s.retrial(&e.cfg, req, pxs[i], pys[i], waits[i], epss[i], dirtyIDs[s.id])
+			})
+			for _, s := range needy {
+				if better(fresh[s.id], best) {
+					best = fresh[s.id]
+				}
+			}
+			search += time.Since(retrial)
+			e.metrics.ConflictsRepaired++
+			e.metrics.RetrialTrialsSaved += trialed - dirtyCount
+		}
+		e.metrics.AddACRT(search)
 		if best.veh < 0 {
 			e.metrics.Rejected++
 			e.assigned[req.ID] = -1
@@ -146,18 +195,27 @@ func (e *Engine) flushAt(t float64) {
 	}
 }
 
-// conflicted reports whether any of a request's candidate vehicles has been
-// committed to during the current flush.
-func conflicted(perShard [][]spatial.ObjectID, dirty map[int]bool) bool {
-	if len(dirty) == 0 {
-		return false
-	}
-	for _, ids := range perShard {
-		for _, id := range ids {
-			if dirty[int(id)] {
-				return true
+// planRequest resolves one batch request against the flush's dirty set. It
+// returns the cheapest retained trial among the request's clean candidates
+// (veh -1 if none), fills dirtyIDs with the dirty previously-feasible
+// candidates per shard (the incremental-repair retrial sets), and reports
+// how many trial insertions phase 1 performed for this request — the
+// number a full re-fan-out would re-run.
+func planRequest(p1 []phase1, dirty map[int]bool, dirtyIDs [][]int) (clean shardBest, dirtyCount, trialed int) {
+	clean = shardBest{veh: -1}
+	for s, p := range p1 {
+		dirtyIDs[s] = dirtyIDs[s][:0]
+		trialed += p.trialed
+		for _, vt := range p.feas {
+			if dirty[vt.veh] {
+				dirtyIDs[s] = append(dirtyIDs[s], vt.veh)
+				dirtyCount++
+				continue
+			}
+			if b := (shardBest{veh: vt.veh, trial: vt.trial}); better(b, clean) {
+				clean = b
 			}
 		}
 	}
-	return false
+	return clean, dirtyCount, trialed
 }

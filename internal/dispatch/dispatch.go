@@ -21,9 +21,10 @@
 // not depend on which cache served them.
 //
 // A batch-window mode (Config.BatchWindow) collects requests for a fixed
-// window and matches the batch greedily in arrival order with intra-batch
-// conflict resolution; see batch.go. Requests may be cancelled while they
-// wait in the window.
+// window and matches the batch greedily in arrival order with incremental
+// intra-batch conflict repair — only candidates dirtied by an earlier
+// commit in the flush are re-trialed; see batch.go. Requests may be
+// cancelled while they wait in the window.
 package dispatch
 
 import (
@@ -64,6 +65,9 @@ type Engine struct {
 	// Batch-window state (batch.go).
 	pending    []sim.Request
 	batchStart float64
+
+	drainRoundCap int   // test hook; 0 selects sim.DefaultDrainRoundCap
+	drainErr      error // sticky Drain truncation error, surfaced by CheckInvariants
 }
 
 // shard owns a partition of the fleet. All of a shard's state is touched by
@@ -188,16 +192,23 @@ func (e *Engine) Workers() int { return e.workers }
 // parallel runs fn once per shard, concurrently when a pool exists, and
 // returns when every shard is done. Shard state is only ever touched from
 // inside fn, so no further synchronization is needed.
-func (e *Engine) parallel(fn func(s *shard)) {
-	if e.tasks == nil {
-		for _, s := range e.shards {
+func (e *Engine) parallel(fn func(s *shard)) { e.parallelOn(e.shards, fn) }
+
+// parallelOn is parallel restricted to the given shards. A single shard —
+// the common incremental-repair case — runs inline on the caller,
+// skipping the pool round-trip; the pool is quiescent between fan-outs,
+// so the caller touching one shard's state is as safe as the sequential
+// path.
+func (e *Engine) parallelOn(shards []*shard, fn func(s *shard)) {
+	if e.tasks == nil || len(shards) == 1 {
+		for _, s := range shards {
 			fn(s)
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(len(e.shards))
-	for _, s := range e.shards {
+	wg.Add(len(shards))
+	for _, s := range shards {
 		s := s
 		e.tasks <- func() {
 			defer wg.Done()
@@ -252,10 +263,8 @@ type shardBest struct {
 // vehicles and returns the shard-local winner. Candidates arrive from the
 // grid in ascending ID order and win on strictly smaller cost, so the
 // shard winner is its lowest-ID cheapest vehicle — the same rule the
-// sequential scan applies globally. When record is true it also returns a
-// copy of the shard's candidate IDs (the batch planner needs them for
-// conflict detection; the scratch slice itself is reused per call).
-func (s *shard) trial(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps, radius float64, record bool) (shardBest, []spatial.ObjectID) {
+// sequential scan applies globally.
+func (s *shard) trial(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps, radius float64) shardBest {
 	s.drainReportsUntil(cfg, req.Time)
 	s.cand = s.grid.Within(s.cand[:0], px, py, radius)
 	best := shardBest{veh: -1}
@@ -266,27 +275,89 @@ func (s *shard) trial(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps,
 		if !ok {
 			continue
 		}
-		if best.veh < 0 || tr.Cost < best.trial.Cost {
-			best = shardBest{veh: int(id), trial: tr}
+		if b := (shardBest{veh: int(id), trial: tr}); better(b, best) {
+			best = b
 		}
 	}
-	if !record {
-		return best, nil
-	}
-	return best, append([]spatial.ObjectID(nil), s.cand...)
+	return best
 }
 
-// reduce picks the global winner from per-shard bests: cheapest cost,
-// ties broken toward the lower vehicle ID. This is a total order, so the
-// result is independent of shard count and completion order.
+// vehTrial is one candidate vehicle's retained trial outcome.
+type vehTrial struct {
+	veh   int // global vehicle ID
+	trial sim.Trial
+}
+
+// phase1 is a shard's retained phase-1 state for one batch request: every
+// feasible candidate's trial outcome in ascending vehicle ID order, plus
+// the number of trial insertions performed (feasible or not) — what a
+// full re-fan-out of the request would cost.
+type phase1 struct {
+	feas    []vehTrial
+	trialed int
+}
+
+// trialRetain runs the request's trial insertions over this shard's
+// candidate vehicles like trial, but retains every feasible candidate's
+// outcome instead of only the shard best — the state the batch planner
+// needs for incremental conflict repair (retained trials stay committable
+// until their vehicle mutates; see sim.Trial's retention semantics).
+func (s *shard) trialRetain(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps, radius float64) phase1 {
+	s.drainReportsUntil(cfg, req.Time)
+	s.cand = s.grid.Within(s.cand[:0], px, py, radius)
+	before := s.w.Metrics().TrialCalls
+	var feas []vehTrial
+	for _, id := range s.cand {
+		v := s.vehicle(int(id))
+		s.w.AdvanceTo(v, req.Time)
+		if tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps); ok {
+			feas = append(feas, vehTrial{veh: int(id), trial: tr})
+		}
+	}
+	return phase1{feas: feas, trialed: s.w.Metrics().TrialCalls - before}
+}
+
+// retrial re-runs trial insertions for just the given dirty candidates —
+// vehicles owned by this shard that were committed to earlier in the
+// current flush — against the updated fleet state. The batch planner
+// merges the result with the request's surviving clean phase-1 trials.
+func (s *shard) retrial(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps float64, ids []int) shardBest {
+	best := shardBest{veh: -1}
+	for _, id := range ids {
+		v := s.vehicle(id)
+		s.w.AdvanceTo(v, req.Time)
+		tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps)
+		if !ok {
+			continue
+		}
+		if b := (shardBest{veh: id, trial: tr}); better(b, best) {
+			best = b
+		}
+	}
+	return best
+}
+
+// better reports whether a beats b under the engine's deterministic
+// matching order: cheapest cost, ties broken toward the lower vehicle ID.
+// Infeasible entries (veh < 0) never win. This is a total order over
+// distinct vehicles, so any reduction using it is independent of shard
+// count and completion order.
+func better(a, b shardBest) bool {
+	if a.veh < 0 {
+		return false
+	}
+	if b.veh < 0 {
+		return true
+	}
+	return a.trial.Cost < b.trial.Cost || (a.trial.Cost == b.trial.Cost && a.veh < b.veh)
+}
+
+// reduce picks the global winner from per-shard bests under the better
+// order.
 func reduce(bests []shardBest) shardBest {
 	out := shardBest{veh: -1}
 	for _, b := range bests {
-		if b.veh < 0 {
-			continue
-		}
-		if out.veh < 0 || b.trial.Cost < out.trial.Cost ||
-			(b.trial.Cost == out.trial.Cost && b.veh < out.veh) {
+		if better(b, out) {
 			out = b
 		}
 	}
@@ -311,7 +382,7 @@ func (e *Engine) Submit(req sim.Request) (matched bool, vehID int) {
 	started := time.Now()
 	bests := make([]shardBest, len(e.shards))
 	e.parallel(func(s *shard) {
-		bests[s.id], _ = s.trial(&e.cfg, req, px, py, waitMeters, eps, radius, false)
+		bests[s.id] = s.trial(&e.cfg, req, px, py, waitMeters, eps, radius)
 	})
 	best := reduce(bests)
 	e.metrics.AddACRT(time.Since(started))
@@ -336,8 +407,11 @@ func (e *Engine) Assignment(reqID int64) (vehID int, dispatched bool) {
 
 // Run replays all requests (sorted by time) and then lets the fleet finish
 // its committed schedules. With a positive BatchWindow the stream is
-// matched in windows; otherwise each request is matched on arrival.
-func (e *Engine) Run(reqs []sim.Request) *sim.Metrics {
+// matched in windows; otherwise each request is matched on arrival. It
+// returns the metrics, plus Drain's truncation error if the fleet could
+// not finish within the drain-round sanity cap — the metrics are still
+// returned, but they omit the stuck vehicles' completions.
+func (e *Engine) Run(reqs []sim.Request) (*sim.Metrics, error) {
 	if e.cfg.BatchWindow > 0 {
 		for i := range reqs {
 			e.Enqueue(reqs[i])
@@ -348,17 +422,26 @@ func (e *Engine) Run(reqs []sim.Request) *sim.Metrics {
 			e.Submit(reqs[i])
 		}
 	}
-	e.Drain()
-	return e.Metrics()
+	err := e.Drain()
+	return e.Metrics(), err
 }
 
 // Drain advances every vehicle until its committed schedule is finished,
-// mirroring sim.Simulator.Drain round for round.
-func (e *Engine) Drain() {
-	const step = 3600 // seconds per drain round
+// mirroring sim.Simulator.Drain round for round. A fleet still busy after
+// the sanity cap (sim.DefaultDrainRoundCap rounds of sim.DrainStep
+// seconds) is wedged; Drain returns an explicit error naming the stuck
+// vehicles instead of silently dropping their in-flight passengers, and
+// CheckInvariants reports the same error afterwards.
+func (e *Engine) Drain() error {
+	e.drainErr = nil // a drain that completes clears any earlier truncation
+	rounds := e.drainRoundCap
+	if rounds <= 0 {
+		rounds = sim.DefaultDrainRoundCap
+	}
 	busy := make([]bool, len(e.shards))
-	for round := 0; round < 200; round++ {
-		e.clock += step
+	idle := false
+	for round := 0; round < rounds && !idle; round++ {
+		e.clock += sim.DrainStep
 		e.parallel(func(s *shard) {
 			busy[s.id] = false
 			for _, v := range s.vehicles {
@@ -368,19 +451,26 @@ func (e *Engine) Drain() {
 				}
 			}
 		})
-		any := false
+		idle = true
 		for _, b := range busy {
-			any = any || b
+			idle = idle && !b
 		}
-		if !any {
-			break
-		}
+	}
+	if !idle {
+		stuck := 0
+		e.eachVehicle(func(v *sim.Vehicle) {
+			if v.Busy() {
+				stuck++
+			}
+		})
+		e.drainErr = fmt.Errorf("dispatch: drain truncated after %d rounds (%.0f s): %d vehicles still busy", rounds, float64(rounds)*sim.DrainStep, stuck)
 	}
 	// Peak occupancy in global vehicle order, as the sequential path
 	// records it.
 	e.eachVehicle(func(v *sim.Vehicle) {
 		e.metrics.PeakOccupancy = append(e.metrics.PeakOccupancy, v.PeakOnboard())
 	})
+	return e.drainErr
 }
 
 // eachVehicle visits the fleet in global ID order.
@@ -444,6 +534,9 @@ func (e *Engine) cacheStats() (distHits, distMisses, pathHits, pathMisses uint64
 // CheckInvariants verifies the cross-cutting invariants over the whole
 // fleet, mirroring sim.Simulator.CheckInvariants.
 func (e *Engine) CheckInvariants() error {
+	if e.drainErr != nil {
+		return e.drainErr
+	}
 	if m := e.Metrics(); m.Violations > 0 {
 		return fmt.Errorf("dispatch: %d service-guarantee violations", m.Violations)
 	}

@@ -264,7 +264,10 @@ func TestBatchDeterminismAcrossWorkers(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer e.Close()
-		m := e.Run(reqs)
+		m, err := e.Run(reqs)
+		if err != nil {
+			t.Fatalf("workers=%d: run: %v", workers, err)
+		}
 		if err := e.CheckInvariants(); err != nil {
 			t.Fatalf("workers=%d: invariants: %v", workers, err)
 		}
@@ -438,7 +441,9 @@ func TestShardsClampedToFleet(t *testing.T) {
 	if e.Shards() != 3 {
 		t.Fatalf("Shards=%d, want clamp to 3", e.Shards())
 	}
-	e.Run(reqs)
+	if _, err := e.Run(reqs); err != nil {
+		t.Fatal(err)
+	}
 	if err := e.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}

@@ -185,7 +185,10 @@ func (h *Harness) Run(p RunParams) (*sim.Metrics, error) {
 		return nil, err
 	}
 	start := time.Now()
-	m := s.Run(reqs)
+	m, err := s.Run(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("exp: run %+v: %w", p, err)
+	}
 	if err := s.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("exp: run %+v: %w", p, err)
 	}

@@ -286,7 +286,10 @@ func (h *Harness) Fig9cStress() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m := s.Run(reqs)
+		m, err := s.Run(reqs)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig9cstress %s: %w", a, err)
+		}
 		if err := s.CheckInvariants(); err != nil {
 			return nil, fmt.Errorf("exp: fig9cstress %s: %w", a, err)
 		}
@@ -520,8 +523,11 @@ func (h *Harness) OracleAblation() (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		m := s.Run(reqs)
+		m, err := s.Run(reqs)
 		wall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("exp: oracle ablation %s: %w", be.name, err)
+		}
 		if err := s.CheckInvariants(); err != nil {
 			return nil, fmt.Errorf("exp: oracle ablation %s: %w", be.name, err)
 		}

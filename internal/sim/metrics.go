@@ -23,6 +23,13 @@ type Metrics struct {
 	// minimum time needed to satisfy a new request").
 	acrtTotal time.Duration
 
+	// ACRTSamples counts the AddACRT calls folded into acrtTotal. Both
+	// engines attribute search time per request — immediate mode records
+	// one sample per Submit, batch mode one per batch item (its share of
+	// the phase-1 fan-out plus any conflict-repair retrial) — so a run
+	// with consistent accounting has ACRTSamples == Requests.
+	ACRTSamples int
+
 	// ART (average response time) bucketed by the number of requests
 	// already scheduled on the candidate vehicle (paper: "we calculate
 	// ART separately for different current request sizes").
@@ -33,6 +40,14 @@ type Metrics struct {
 	TrialFailures int // trials that found no valid augmented schedule
 	OverBudget    int // tree trials aborted by the candidate-size budget
 	// (the paper's 3 GB cutoff analogue)
+
+	// Batch-window conflict repair (internal/dispatch batch mode): a
+	// request whose retained phase-1 candidates were dirtied by an earlier
+	// commit in the same flush is repaired by re-trialing only the dirty
+	// candidates. RetrialTrialsSaved counts the trial insertions a full
+	// re-fan-out would have re-run but incremental repair skipped.
+	ConflictsRepaired  int
+	RetrialTrialsSaved int
 
 	// Service statistics.
 	Completed        int     // trips dropped off
@@ -101,7 +116,10 @@ func (m *Metrics) ARTBuckets() []int {
 	return out
 }
 
-func (m *Metrics) recordACRT(d time.Duration) { m.acrtTotal += d }
+func (m *Metrics) recordACRT(d time.Duration) {
+	m.acrtTotal += d
+	m.ACRTSamples++
+}
 
 // NewMetrics returns an empty metrics sink. The sharded dispatch engine
 // gives each shard its own and merges them on read.
@@ -121,6 +139,7 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.Matched += o.Matched
 	m.Rejected += o.Rejected
 	m.acrtTotal += o.acrtTotal
+	m.ACRTSamples += o.ACRTSamples
 	for k, d := range o.artTotal {
 		m.artTotal[k] += d
 	}
@@ -130,6 +149,8 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.TrialCalls += o.TrialCalls
 	m.TrialFailures += o.TrialFailures
 	m.OverBudget += o.OverBudget
+	m.ConflictsRepaired += o.ConflictsRepaired
+	m.RetrialTrialsSaved += o.RetrialTrialsSaved
 	m.Completed += o.Completed
 	m.TotalWaitMeters += o.TotalWaitMeters
 	m.TotalRideMeters += o.TotalRideMeters
@@ -231,18 +252,22 @@ type Snapshot struct {
 	Completed     int         `json:"completed"`
 	Violations    int         `json:"violations"`
 	ACRTNanos     int64       `json:"acrt_ns"`
+	ACRTSamples   int         `json:"acrt_samples"`
 	TrialCalls    int         `json:"trial_calls"`
 	TrialFailures int         `json:"trial_failures"`
 	OverBudget    int         `json:"over_budget"`
 	ART           []ARTBucket `json:"art"`
-	WaitMeters    float64     `json:"total_wait_meters"`
-	RideMeters    float64     `json:"total_ride_meters"`
-	DetourFactor  float64     `json:"mean_detour_factor"`
-	VehicleMeters float64     `json:"total_vehicle_meters"`
-	OccupancyMax  int         `json:"occupancy_max"`
-	OccupancyMean float64     `json:"occupancy_mean"`
-	OccupancyTop  float64     `json:"occupancy_top20_mean"`
-	TreeNodesMax  int         `json:"tree_nodes_max"`
+
+	ConflictsRepaired  int     `json:"conflicts_repaired"`
+	RetrialTrialsSaved int     `json:"retrial_trials_saved"`
+	WaitMeters         float64 `json:"total_wait_meters"`
+	RideMeters         float64 `json:"total_ride_meters"`
+	DetourFactor       float64 `json:"mean_detour_factor"`
+	VehicleMeters      float64 `json:"total_vehicle_meters"`
+	OccupancyMax       int     `json:"occupancy_max"`
+	OccupancyMean      float64 `json:"occupancy_mean"`
+	OccupancyTop       float64 `json:"occupancy_top20_mean"`
+	TreeNodesMax       int     `json:"tree_nodes_max"`
 
 	DistCacheHits    uint64  `json:"dist_cache_hits"`
 	DistCacheMisses  uint64  `json:"dist_cache_misses"`
@@ -269,9 +294,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		Completed:     m.Completed,
 		Violations:    m.Violations,
 		ACRTNanos:     m.ACRT().Nanoseconds(),
+		ACRTSamples:   m.ACRTSamples,
 		TrialCalls:    m.TrialCalls,
 		TrialFailures: m.TrialFailures,
 		OverBudget:    m.OverBudget,
+
+		ConflictsRepaired:  m.ConflictsRepaired,
+		RetrialTrialsSaved: m.RetrialTrialsSaved,
+
 		WaitMeters:    m.TotalWaitMeters,
 		RideMeters:    m.TotalRideMeters,
 		DetourFactor:  m.MeanDetourFactor(),

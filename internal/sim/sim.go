@@ -139,7 +139,20 @@ type Simulator struct {
 	clock      float64
 	reports    reportQueue
 	candidates []spatial.ObjectID // scratch
+
+	drainRoundCap int   // test hook; 0 selects DefaultDrainRoundCap
+	drainErr      error // sticky Drain truncation error, surfaced by CheckInvariants
 }
+
+// DrainStep is the simulated seconds each Drain round advances the fleet.
+const DrainStep = 3600
+
+// DefaultDrainRoundCap bounds Drain to ~11 simulated years. It is a sanity
+// cap against a wedged fleet (a vehicle that never finishes its schedule),
+// not a truncation point for long-but-finite schedules: hitting it is
+// reported as an explicit error instead of silently abandoning in-flight
+// passengers.
+const DefaultDrainRoundCap = 100000
 
 // New creates a simulator with an idle fleet placed at random vertices
 // ("a vehicle is initialized to a random vertex in the city", §VI).
@@ -275,40 +288,62 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 }
 
 // Run replays all requests (which must be sorted by time) and then lets the
-// fleet finish its committed schedules. It returns the metrics.
-func (s *Simulator) Run(reqs []Request) *Metrics {
+// fleet finish its committed schedules. It returns the metrics, plus
+// Drain's truncation error if the fleet could not finish within the
+// drain-round sanity cap — the metrics are still returned, but they omit
+// the stuck vehicles' completions.
+func (s *Simulator) Run(reqs []Request) (*Metrics, error) {
 	for i := range reqs {
 		s.Submit(reqs[i])
 	}
-	s.Drain()
-	return s.Metrics()
+	err := s.Drain()
+	return s.Metrics(), err
 }
 
 // Drain advances every vehicle until its committed schedule is finished, so
-// completion statistics cover all matched requests.
-func (s *Simulator) Drain() {
-	const step = 3600 // seconds per drain round
-	for round := 0; round < 200; round++ {
-		busy := false
-		s.clock += step
+// completion statistics cover all matched requests. A fleet still busy
+// after the sanity cap (DefaultDrainRoundCap rounds of DrainStep seconds)
+// is wedged; Drain returns an explicit error naming the stuck vehicles
+// instead of silently dropping their in-flight passengers, and
+// CheckInvariants reports the same error afterwards.
+func (s *Simulator) Drain() error {
+	s.drainErr = nil // a drain that completes clears any earlier truncation
+	rounds := s.drainRoundCap
+	if rounds <= 0 {
+		rounds = DefaultDrainRoundCap
+	}
+	idle := false
+	for round := 0; round < rounds && !idle; round++ {
+		idle = true
+		s.clock += DrainStep
 		for _, v := range s.vehicles {
 			if v.Busy() {
 				s.w.AdvanceTo(v, s.clock)
-				busy = busy || v.Busy()
+				idle = idle && !v.Busy()
 			}
 		}
-		if !busy {
-			break
+	}
+	if !idle {
+		stuck := 0
+		for _, v := range s.vehicles {
+			if v.Busy() {
+				stuck++
+			}
 		}
+		s.drainErr = fmt.Errorf("sim: drain truncated after %d rounds (%.0f s): %d vehicles still busy", rounds, float64(rounds)*DrainStep, stuck)
 	}
 	for _, v := range s.vehicles {
 		s.metrics.PeakOccupancy = append(s.metrics.PeakOccupancy, v.peakOnboard)
 	}
+	return s.drainErr
 }
 
 // CheckInvariants verifies cross-cutting simulator invariants; tests call it
 // after runs. It returns an error describing the first violation found.
 func (s *Simulator) CheckInvariants() error {
+	if s.drainErr != nil {
+		return s.drainErr
+	}
 	if s.metrics.Violations > 0 {
 		return fmt.Errorf("sim: %d service-guarantee violations", s.metrics.Violations)
 	}

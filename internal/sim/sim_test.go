@@ -76,7 +76,10 @@ func TestSimulationAllAlgorithms(t *testing.T) {
 			if err != nil {
 				t.Fatalf("New: %v", err)
 			}
-			m := s.Run(reqs)
+			m, err := s.Run(reqs)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
 			if err := s.CheckInvariants(); err != nil {
 				t.Fatalf("invariants: %v", err)
 			}
@@ -109,7 +112,11 @@ func TestSimulationDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s.Run(reqs)
+		m, err := s.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
 	}
 	a, b := run(), run()
 	if a.Matched != b.Matched || a.Rejected != b.Rejected || a.Completed != b.Completed {
@@ -132,7 +139,10 @@ func TestMatchRateComparable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := s.Run(reqs)
+		m, err := s.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rates[algo] = m.Matched
 	}
 	a, b := rates[AlgoTreeSlack], rates[AlgoBranchBound]

@@ -141,7 +141,16 @@ func (w *Worker) NewVehicle(id int, loc roadnet.VertexID) *Vehicle {
 }
 
 // Trial is the outcome of a successful trial insertion, ready to Commit on
-// the same vehicle provided no other mutation intervened.
+// the same vehicle provided no mutation of that vehicle intervened.
+//
+// Retention semantics: a Trial stays committable until its own vehicle
+// mutates (a Commit on it, or movement via AdvanceTo), no matter how many
+// further Trials run on the same vehicle in between — trial insertions
+// leave the vehicle untouched (a kinetic-tree candidate is an independent
+// new tree; a stateless result references only the instance it was built
+// from). The batch planner relies on this to retain every candidate's
+// phase-1 trial across a whole flush and commit the surviving winner, or
+// merge retained clean trials with fresh retrials of dirtied vehicles.
 type Trial struct {
 	Cost     float64
 	treeCand *core.Candidate
@@ -165,7 +174,9 @@ func (w *Worker) Trial(v *Vehicle, req Request, px, py, waitMeters, eps float64)
 	if v.isTree() {
 		trip, err := core.NewTripState(req.ID, req.Pickup, req.Dropoff, waitMeters, eps, v.odo, w.oracle)
 		if err != nil {
+			// Unreachable dropoff: an infeasible trial like any other.
 			w.metrics.recordART(active, time.Since(trialStart))
+			w.metrics.TrialFailures++
 			return Trial{}, false
 		}
 		cand, ok, err := v.tree.TrialInsert(trip)
@@ -185,7 +196,9 @@ func (w *Worker) Trial(v *Vehicle, req Request, px, py, waitMeters, eps float64)
 	}
 	inst, trip, ok := w.buildInstance(v, req, waitMeters, eps)
 	if !ok {
+		// Unreachable dropoff: an infeasible trial like any other.
 		w.metrics.recordART(active, time.Since(trialStart))
+		w.metrics.TrialFailures++
 		return Trial{}, false
 	}
 	res := v.sched.Schedule(inst)
@@ -197,9 +210,9 @@ func (w *Worker) Trial(v *Vehicle, req Request, px, py, waitMeters, eps float64)
 	return Trial{Cost: res.Cost, result: res, trip: trip}, true
 }
 
-// Commit adopts a successful trial on v and accounts the match. For tree
-// vehicles the candidate must come from the most recent TrialInsert on v's
-// tree with no intervening commit.
+// Commit adopts a successful trial on v and accounts the match. The trial
+// must have been produced since v's last mutation (Commit or movement);
+// per Trial's retention semantics, trials on v in between are harmless.
 func (w *Worker) Commit(v *Vehicle, tr Trial) {
 	v.requestOdo[tr.trip.ID] = v.odo
 	if v.isTree() {
