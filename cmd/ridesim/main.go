@@ -3,6 +3,7 @@
 //	ridesim -scale 0.02 -servers 200 -algo ktree-slack -capacity 6
 //	ridesim -graph city.bin -trips trips.csv -algo branchbound
 //	ridesim -scale 0.02 -servers 2000 -workers 8 -batch 10 -cache-stripes 64
+//	ridesim -scale 0.02 -servers 2000 -workers 4 -producers 8 -arrival surge
 //
 // Without -graph/-trips it generates a synthetic city and workload at the
 // requested scale. With -workers/-shards the sharded concurrent dispatch
@@ -11,6 +12,16 @@
 // Caching backends ("+lru") run all shards against one fleet-wide shared
 // distance cache (cache.Shared); -dist-cache/-path-cache/-cache-stripes
 // size it, and the end-of-run summary reports its hit rates.
+//
+// With -producers N the request stream enters through the concurrent
+// ingress gateway (internal/ingest): N producer goroutines submit into
+// per-shard bounded queues (-queue-depth) under the chosen backpressure
+// policy (-shed-policy block|shed-oldest|deadline), and the stamped-order
+// drain feeds the engine. -arrival poisson|surge|hotspot replaces the
+// replayed trace with the streaming open-loop generator
+// (internal/workload); combined with -producers the stream is generated
+// and served live rather than materialized. The end-of-run summary gains
+// an ingress line (admitted/shed/queue peak/p99 ingress wait).
 package main
 
 import (
@@ -23,10 +34,12 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dispatch"
 	"repro/internal/exp"
+	"repro/internal/ingest"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
 	"repro/internal/sp"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // options carries every flag; run takes it whole instead of a parameter
@@ -52,6 +65,10 @@ type options struct {
 	distEntries  int
 	pathEntries  int
 	cacheStripes int
+	producers    int
+	queueDepth   int
+	shedPolicy   string
+	arrival      string
 }
 
 func main() {
@@ -76,6 +93,10 @@ func main() {
 	flag.IntVar(&o.distEntries, "dist-cache", cache.DefaultDistEntries, "distance-cache capacity in entries (caching backends)")
 	flag.IntVar(&o.pathEntries, "path-cache", cache.DefaultPathEntries, "path-cache capacity in entries (caching backends)")
 	flag.IntVar(&o.cacheStripes, "cache-stripes", 0, "stripe count of the shared distance cache (0 = default, dispatch engine only)")
+	flag.IntVar(&o.producers, "producers", 0, "concurrent request producers; >0 routes the stream through the ingress gateway")
+	flag.IntVar(&o.queueDepth, "queue-depth", 256, "per-shard ingress queue capacity")
+	flag.StringVar(&o.shedPolicy, "shed-policy", "block", "ingress backpressure policy: block, shed-oldest, deadline")
+	flag.StringVar(&o.arrival, "arrival", "", "streaming workload pattern: poisson, surge, hotspot (default: replay the built trace)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -165,9 +186,48 @@ func run(o options) error {
 		g, reqs = world.Graph, world.Requests
 	}
 
+	// -arrival swaps the replayed trace for the streaming open-loop
+	// generator over the same graph: materialized for the direct feed,
+	// streamed live through the gateway when -producers is set.
+	var src ingest.Source
+	var genErr func() error // post-run check: did the stream end abnormally?
+	if o.arrival != "" {
+		pattern, err := workload.ParsePattern(o.arrival)
+		if err != nil {
+			return err
+		}
+		trips := len(reqs)
+		if trips == 0 {
+			trips = 2000
+		}
+		gen, err := workload.New(g, workload.Options{Pattern: pattern, Trips: trips, Seed: o.seed})
+		if err != nil {
+			return err
+		}
+		genErr = gen.Err
+		if o.producers > 0 {
+			src = gen
+			reqs = nil
+		} else {
+			reqs = gen.All()
+			if err := gen.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	if o.producers > 0 && src == nil {
+		s := ingest.SliceSource(reqs)
+		src = &s
+	}
+
 	if !o.jsonOut {
-		fmt.Printf("network: %d vertices, %d edges; %d requests; fleet %d x capacity %d; algo %s\n",
-			g.N(), g.M(), len(reqs), o.servers, o.capacity, algo)
+		if src != nil && o.arrival != "" {
+			fmt.Printf("network: %d vertices, %d edges; streaming %s arrivals; fleet %d x capacity %d; algo %s\n",
+				g.N(), g.M(), o.arrival, o.servers, o.capacity, algo)
+		} else {
+			fmt.Printf("network: %d vertices, %d edges; %d requests; fleet %d x capacity %d; algo %s\n",
+				g.N(), g.M(), len(reqs), o.servers, o.capacity, algo)
+		}
 	}
 
 	engine, cached, err := buildEngine(o.oracleSel, g)
@@ -213,11 +273,21 @@ func run(o options) error {
 			fmt.Printf("dispatch engine: %d workers, %d shards, batch window %gs\n",
 				eng.Workers(), eng.Shards(), o.batchWin)
 		}
-		start := time.Now()
-		m, err = eng.Run(reqs)
-		wall = time.Since(start)
-		if err != nil {
-			return err
+		if o.producers > 0 {
+			m, wall, err = runGateway(o, eng.Shards(), cfg.WaitSeconds, src,
+				func(r sim.Request) { eng.Enqueue(r) },
+				func() error { eng.Flush(); return eng.Drain() },
+				eng.Metrics)
+			if err != nil {
+				return err
+			}
+		} else {
+			start := time.Now()
+			m, err = eng.Run(reqs)
+			wall = time.Since(start)
+			if err != nil {
+				return err
+			}
 		}
 		if err := eng.CheckInvariants(); err != nil {
 			return fmt.Errorf("invariant violated: %w", err)
@@ -232,14 +302,33 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		start := time.Now()
-		m, err = s.Run(reqs)
-		wall = time.Since(start)
-		if err != nil {
-			return err
+		if o.producers > 0 {
+			m, wall, err = runGateway(o, 1, cfg.WaitSeconds, src,
+				func(r sim.Request) { s.Submit(r) },
+				s.Drain,
+				s.Metrics)
+			if err != nil {
+				return err
+			}
+		} else {
+			start := time.Now()
+			m, err = s.Run(reqs)
+			wall = time.Since(start)
+			if err != nil {
+				return err
+			}
 		}
 		if err := s.CheckInvariants(); err != nil {
 			return fmt.Errorf("invariant violated: %w", err)
+		}
+	}
+
+	// A streamed generator ends its stream silently from the driver's
+	// point of view; surface an abnormal (sampling-failure) ending rather
+	// than reporting metrics over a quietly truncated workload.
+	if genErr != nil {
+		if err := genErr(); err != nil {
+			return err
 		}
 	}
 
@@ -255,6 +344,13 @@ func run(o options) error {
 		fmt.Printf("batch repair: %d conflicts repaired incrementally, %d retrial insertions saved vs full re-fan-out\n",
 			m.ConflictsRepaired, m.RetrialTrialsSaved)
 	}
+	if o.producers > 0 {
+		fmt.Printf("ingress: %d producers, policy %s, queue depth %d; admitted %d, shed %d (overflow %d, deadline %d); queue peak %d; wait mean %v p99 %v\n",
+			o.producers, o.shedPolicy, o.queueDepth,
+			m.Admitted, m.Shed(), m.ShedOverflow, m.ShedDeadline,
+			m.IngressQueuePeak,
+			m.IngressWaitMean().Round(time.Microsecond), m.IngressWaitP99().Round(time.Microsecond))
+	}
 	printCacheStats(m)
 	if o.artOut {
 		fmt.Println("\nART by scheduled requests:")
@@ -264,6 +360,48 @@ func run(o options) error {
 		}
 	}
 	return nil
+}
+
+// runGateway is the shared gateway-run protocol for both engines: stream
+// src through the ingress gateway from o.producers goroutines into sink,
+// drain the matcher behind it, and fold the gateway's ingress counters
+// into the matcher's metrics. The wall time covers submission through the
+// matcher's drain.
+func runGateway(o options, queues int, waitSeconds float64, src ingest.Source,
+	sink func(sim.Request), drain func() error, metrics func() *sim.Metrics,
+) (*sim.Metrics, time.Duration, error) {
+	gw, err := newGateway(o, queues, waitSeconds)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	go ingest.Drive(gw, src, o.producers)
+	gw.Drain(sink)
+	derr := drain()
+	wall := time.Since(start)
+	m := metrics()
+	gw.MetricsInto(m)
+	if derr != nil {
+		return nil, 0, derr
+	}
+	return m, wall, nil
+}
+
+// newGateway builds the ingress gateway for this run: one bounded
+// admission queue per engine shard (keyed by dispatch.ShardIndex), the
+// configured backpressure policy, and the fleet waiting-time window for
+// deadline shedding.
+func newGateway(o options, queues int, waitSeconds float64) (*ingest.Gateway, error) {
+	policy, err := ingest.ParsePolicy(o.shedPolicy)
+	if err != nil {
+		return nil, err
+	}
+	return ingest.New(ingest.Config{
+		Queues:      queues,
+		Depth:       o.queueDepth,
+		Policy:      policy,
+		WaitSeconds: waitSeconds,
+	}), nil
 }
 
 // printCacheStats reports the aggregate shortest-path cache efficacy

@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/dispatch"
+	"repro/internal/exp"
+	"repro/internal/ingest"
+	"repro/internal/sim"
+	"repro/internal/sp"
+)
+
+// BenchmarkIngressThroughput: the concurrent front door end to end — N
+// producer goroutines push the workload through the gateway's per-shard
+// queues and the stamped-order drain feeds the dispatch engine. It
+// reports matched requests/second and the p99 ingress wait for 1 vs. N
+// producers, with gomaxprocs so single-core results aren't misread (on a
+// one-CPU host producers time-slice, so extra producers measure fan-in
+// overhead, not parallel speedup). Run under -race in CI so the full
+// producer/drain fan-in runs under the detector on every push.
+func BenchmarkIngressThroughput(b *testing.B) {
+	world, err := exp.BuildWorld(exp.WorldOptions{Scale: 0.008, Trips: 200, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fleet = 400
+	for _, producers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("producers=%d", producers), func(b *testing.B) {
+			var p99 time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := sim.Config{
+					Graph:     world.Graph,
+					Servers:   fleet,
+					Capacity:  4,
+					Algorithm: sim.AlgoTreeSlack,
+					Seed:      9,
+					Workers:   4,
+					Oracle: cache.NewShared(func() sp.Oracle {
+						return sp.NewBidirectional(world.Graph)
+					}, world.Graph.N(), 1<<20, 1<<12, 0),
+				}
+				e, err := dispatch.New(cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gw := ingest.New(ingest.Config{Queues: e.Shards(), Depth: 64, Policy: ingest.Block})
+				src := ingest.SliceSource(world.Requests)
+				b.StartTimer()
+				go ingest.Drive(gw, &src, producers)
+				gw.Drain(func(r sim.Request) { e.Submit(r) })
+				b.StopTimer()
+				m := e.Metrics()
+				gw.MetricsInto(m)
+				if m.Admitted != len(world.Requests) || m.Shed() != 0 {
+					b.Fatalf("admitted %d, shed %d — blocking gateway must be lossless", m.Admitted, m.Shed())
+				}
+				if m.Matched == 0 {
+					b.Fatal("nothing matched")
+				}
+				p99 = m.IngressWaitP99()
+				e.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(world.Requests))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(float64(p99.Microseconds()), "p99-ingress-wait-µs")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+
+	// Deadline-shed mode: the gateway must never hand the engine a
+	// request whose service-guarantee window is already blown. The
+	// producers finish before the drain starts (queue capacity exceeds
+	// the stream), so the gateway clock is final and the handoff-lag
+	// assertion is exact.
+	b.Run("deadline-shed", func(b *testing.B) {
+		const wait = 600
+		var admitted, shed int
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cfg := sim.Config{
+				Graph:       world.Graph,
+				Servers:     fleet,
+				Capacity:    4,
+				WaitSeconds: wait,
+				Algorithm:   sim.AlgoTreeSlack,
+				Seed:        9,
+				Workers:     4,
+				Oracle: cache.NewShared(func() sp.Oracle {
+					return sp.NewBidirectional(world.Graph)
+				}, world.Graph.N(), 1<<20, 1<<12, 0),
+			}
+			e, err := dispatch.New(cfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gw := ingest.New(ingest.Config{
+				Queues:      e.Shards(),
+				Depth:       len(world.Requests),
+				Policy:      ingest.ShedDeadline,
+				WaitSeconds: wait,
+			})
+			src := ingest.SliceSource(world.Requests)
+			b.StartTimer()
+			ingest.Drive(gw, &src, 4)
+			gw.Drain(func(r sim.Request) {
+				if lag := gw.Now() - r.Time; lag > wait {
+					b.Fatalf("request %d handed off %.0f s late (window %d s)", r.ID, lag, wait)
+				}
+				e.Submit(r)
+			})
+			b.StopTimer()
+			m := gw.Metrics()
+			admitted, shed = m.Admitted, m.ShedDeadline
+			if admitted+shed != len(world.Requests) {
+				b.Fatalf("admitted %d + shed %d != %d submissions", admitted, shed, len(world.Requests))
+			}
+			e.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(admitted), "admitted")
+		b.ReportMetric(float64(shed), "deadline-shed")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	})
+}

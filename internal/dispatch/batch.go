@@ -188,7 +188,7 @@ func (e *Engine) flushAt(t float64) {
 			e.assigned[req.ID] = -1
 			continue
 		}
-		s := e.shards[best.veh%len(e.shards)]
+		s := e.shards[ShardIndex(int64(best.veh), len(e.shards))]
 		s.w.Commit(s.vehicle(best.veh), best.trial)
 		dirty[best.veh] = true
 		e.assigned[req.ID] = best.veh

@@ -39,6 +39,20 @@ import (
 	"repro/internal/spatial"
 )
 
+// ShardIndex is the engine's partitioning function: it maps an entity ID
+// to its owning shard in [0, n). Vehicles live on shard ID mod n, and the
+// ingress gateway (internal/ingest) keys its per-shard admission queues
+// with the same function, so a request stream's queue affinity follows the
+// fleet partition. Negative IDs are folded into range so arbitrary request
+// IDs are safe to key with.
+func ShardIndex(id int64, n int) int {
+	s := int(id % int64(n))
+	if s < 0 {
+		s += n
+	}
+	return s
+}
+
 // OracleFactory builds one shortest-path oracle per shard. Factories must
 // return independent instances: shard oracles answer queries concurrently,
 // and the stock per-goroutine sp/cache implementations are not
@@ -392,7 +406,7 @@ func (e *Engine) Submit(req sim.Request) (matched bool, vehID int) {
 		e.assigned[req.ID] = -1
 		return false, -1
 	}
-	s := e.shards[best.veh%len(e.shards)]
+	s := e.shards[ShardIndex(int64(best.veh), len(e.shards))]
 	s.w.Commit(s.vehicle(best.veh), best.trial)
 	e.assigned[req.ID] = best.veh
 	return true, best.veh
@@ -480,7 +494,7 @@ func (e *Engine) eachVehicle(fn func(v *sim.Vehicle)) {
 		total += len(s.vehicles)
 	}
 	for i := 0; i < total; i++ {
-		fn(e.shards[i%len(e.shards)].vehicle(i))
+		fn(e.shards[ShardIndex(int64(i), len(e.shards))].vehicle(i))
 	}
 }
 
@@ -545,7 +559,7 @@ func (e *Engine) CheckInvariants() error {
 		if firstErr != nil {
 			return
 		}
-		s := e.shards[v.ID()%len(e.shards)]
+		s := e.shards[ShardIndex(int64(v.ID()), len(e.shards))]
 		if err := s.w.CheckVehicle(v); err != nil {
 			firstErr = fmt.Errorf("dispatch: vehicle %d: %w", v.ID(), err)
 		}

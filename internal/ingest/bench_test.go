@@ -1,0 +1,44 @@
+package ingest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkIngressFanIn measures the gateway alone — N producers pushing a
+// pre-built stream through small per-shard queues into a no-op sink — so
+// queue contention and the stamped-order drain are isolated from matching
+// cost. Run under -race in CI so the fan-in path is exercised by the
+// detector on every push.
+func BenchmarkIngressFanIn(b *testing.B) {
+	const total = 4096
+	reqs := make([]sim.Request, total)
+	for i := range reqs {
+		reqs[i] = sim.Request{ID: int64(i), Time: float64(i) / 50}
+	}
+	for _, producers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("producers=%d", producers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gw := New(Config{Queues: 4, Depth: 64, Policy: Block})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					feed(gw, reqs, producers)
+				}()
+				n := 0
+				gw.Drain(func(sim.Request) { n++ })
+				wg.Wait()
+				if n != total {
+					b.Fatalf("handed off %d of %d", n, total)
+				}
+			}
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}

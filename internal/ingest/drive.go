@@ -1,0 +1,72 @@
+package ingest
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Source is a pull-based request stream, time-sorted, not required to be
+// safe for concurrent use — Drive pulls it from one goroutine.
+// workload.Generator implements it; SliceSource adapts a prepared slice.
+type Source interface {
+	Next() (sim.Request, bool)
+}
+
+// SliceSource streams a prepared request slice.
+type SliceSource []sim.Request
+
+// Next pops the stream head.
+func (s *SliceSource) Next() (sim.Request, bool) {
+	if len(*s) == 0 {
+		return sim.Request{}, false
+	}
+	req := (*s)[0]
+	*s = (*s)[1:]
+	return req, true
+}
+
+// Drive is the open-loop load driver: it pulls src sequentially — so the
+// stream content is deterministic for a fixed source regardless of
+// producer count — and fans the requests out round-robin to `producers`
+// concurrent Submit goroutines, closing every producer when the stream
+// ends. Each producer's sub-stream inherits the source's time order, which
+// is the per-producer monotonicity Submit requires.
+//
+// Drive blocks until every request is submitted and every producer is
+// closed; run it concurrently with gw.Drain:
+//
+//	go ingest.Drive(gw, src, 8)
+//	gw.Drain(func(r sim.Request) { eng.Enqueue(r) })
+func Drive(gw *Gateway, src Source, producers int) {
+	if producers < 1 {
+		producers = 1
+	}
+	handles := gw.Producers(producers)
+	chans := make([]chan sim.Request, producers)
+	for i := range chans {
+		chans[i] = make(chan sim.Request, 64)
+	}
+	var wg sync.WaitGroup
+	for i, p := range handles {
+		wg.Add(1)
+		go func(ch chan sim.Request, p *Producer) {
+			defer wg.Done()
+			for req := range ch {
+				p.Submit(req)
+			}
+			p.Close()
+		}(chans[i], p)
+	}
+	for i := 0; ; i++ {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		chans[i%producers] <- req
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,466 @@
+// Package ingest is the concurrent front door of the dispatcher: a
+// multi-producer request gateway that sits between many request sources
+// (API handlers, replayed city feeds, the internal/workload generator) and
+// a single-consumer matching engine (dispatch.Engine or sim.Simulator),
+// whose exported methods are driven from one goroutine.
+//
+// Producers submit into per-shard bounded MPSC queues keyed by the same
+// partitioning function the dispatch engine uses (dispatch.ShardIndex), so
+// a request's queue affinity follows the fleet partition. An admission
+// stage stamps every arrival with a logical clock — the request's own
+// event time, its unique ID, and a Lamport-style admission tick — which
+// totally orders concurrent arrivals no matter how the producer goroutines
+// interleave. The drain protocol releases admitted requests to the engine
+// in stamped order behind a producer watermark: a request is handed off
+// only once every open producer has advanced past its event time, so the
+// sequence the engine sees is exactly the (Time, ID)-sorted single-producer
+// sequence, and with shedding off the resulting assignments are
+// bit-identical to feeding the engine directly (TestIngressEquivalence
+// enforces this at 1/4/8 producers × 1/4/8 workers). Note the tie rule:
+// requests with equal event times are released in ID order, so a direct
+// feed is equivalent only if it also orders ties by ID — trace.ReadCSV and
+// the workload generator both produce (Time, ID)-sorted streams.
+//
+// Backpressure is configurable per Config.Policy: Block stalls a producer
+// on a full queue (the lossless default), ShedOldest evicts the oldest
+// queued request to admit the new one, and ShedDeadline additionally
+// refuses — at admission and again at handoff — any request whose
+// waiting-time window has already been blown by gateway lag, so the engine
+// never spends trial insertions on a rider the service guarantee has
+// already lost.
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/sim"
+)
+
+// Policy selects what a producer does when its target queue is full, and
+// whether deadline-blown requests are shed.
+type Policy int
+
+const (
+	// Block stalls the producer until the drain frees queue space. No
+	// request is ever dropped; this is the policy under which the gateway
+	// is assignment-equivalent to the single-producer path.
+	Block Policy = iota
+	// ShedOldest evicts the oldest request in the full queue and admits
+	// the new one, bounding producer latency at the price of dropped
+	// riders (counted as ShedOverflow).
+	ShedOldest
+	// ShedDeadline blocks on overflow like Block, but refuses any request
+	// whose waiting-time window is already blown by gateway lag — at
+	// admission, and again at handoff for requests the window expired on
+	// while they were queued (counted as ShedDeadline).
+	ShedDeadline
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case ShedOldest:
+		return "shed-oldest"
+	case ShedDeadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps the CLI spellings (block, shed-oldest, deadline) to a
+// Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{Block, ShedOldest, ShedDeadline} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("ingest: unknown shed policy %q", s)
+}
+
+// Config parameterizes a Gateway. Zero values select the defaults noted
+// per field.
+type Config struct {
+	// Queues is the number of admission queues; pass the engine's shard
+	// count so queue affinity follows the fleet partition (default 1).
+	Queues int
+	// Depth is each queue's capacity in requests (default 256).
+	Depth int
+	// Policy is the backpressure policy (default Block).
+	Policy Policy
+	// WaitSeconds is the fleet-default waiting-time window used by
+	// ShedDeadline for requests without a per-request override
+	// (default 600, matching sim.Config).
+	WaitSeconds float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queues <= 0 {
+		c.Queues = 1
+	}
+	if c.Depth <= 0 {
+		c.Depth = 256
+	}
+	if c.WaitSeconds == 0 {
+		c.WaitSeconds = 600
+	}
+	return c
+}
+
+// stamped is a request plus its admission stamp. The total order over
+// stamps — event time, then request ID, then admission tick — is what the
+// drain releases in; (T, ID) is producer-interleaving-independent, and the
+// Lamport tick only breaks ties between duplicate (T, ID) pairs so the
+// order stays total on adversarial input.
+type stamped struct {
+	req  sim.Request
+	seq  uint64    // Lamport admission tick, unique per admitted request
+	wall time.Time // admission wall time, for the IngressWait metric
+}
+
+// before reports whether a precedes b in stamped order.
+func (a stamped) before(b stamped) bool {
+	if a.req.Time != b.req.Time {
+		return a.req.Time < b.req.Time
+	}
+	if a.req.ID != b.req.ID {
+		return a.req.ID < b.req.ID
+	}
+	return a.seq < b.seq
+}
+
+// Gateway is the multi-producer request front door. Producers (one handle
+// per goroutine) push concurrently; one goroutine drains. The Gateway is
+// not reusable after Drain returns.
+type Gateway struct {
+	cfg    Config
+	queues []*queue
+	wake   chan struct{} // producer -> drainer nudge, capacity 1
+
+	seq     atomic.Uint64 // Lamport admission clock
+	nowBits atomic.Uint64 // float64 bits of the max event time admitted
+
+	mu        sync.Mutex
+	producers []*Producer
+
+	// Drainer-owned state; touched only by Drain's goroutine.
+	heap          stampHeap
+	admitted      int
+	shedDeadline  atomic.Int64 // admission-side sheds come from producers
+	ingressWaitNs []int64
+}
+
+// New creates a gateway. The engine it will feed is not bound here; Drain
+// takes the handoff sink.
+func New(cfg Config) *Gateway {
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:  cfg,
+		wake: make(chan struct{}, 1),
+	}
+	for i := 0; i < cfg.Queues; i++ {
+		g.queues = append(g.queues, newQueue(cfg.Depth))
+	}
+	return g
+}
+
+// Queues returns the admission-queue count.
+func (g *Gateway) Queues() int { return len(g.queues) }
+
+// Now returns the gateway's logical clock: the highest event time any
+// producer has submitted. It only advances, so lateness computed against
+// it is a lower bound on a request's true lag.
+func (g *Gateway) Now() float64 {
+	return math.Float64frombits(g.nowBits.Load())
+}
+
+// advanceNow lifts the logical clock to at least t.
+func (g *Gateway) advanceNow(t float64) {
+	for {
+		old := g.nowBits.Load()
+		if math.Float64frombits(old) >= t {
+			return
+		}
+		if g.nowBits.CompareAndSwap(old, math.Float64bits(t)) {
+			return
+		}
+	}
+}
+
+// window resolves a request's waiting-time budget in seconds.
+func (g *Gateway) window(req sim.Request) float64 {
+	if req.WaitSeconds > 0 {
+		return req.WaitSeconds
+	}
+	return g.cfg.WaitSeconds
+}
+
+// Producers registers n producer handles; each handle is then owned by
+// one goroutine. Registration is safe concurrently with Drain — the drain
+// releases nothing until at least one producer exists — but every handle
+// must be registered before the first producer closes, or the drain may
+// finish without it.
+func (g *Gateway) Producers(n int) []*Producer {
+	g.mu.Lock()
+	out := make([]*Producer, n)
+	for i := range out {
+		p := &Producer{gw: g}
+		p.watermark.Store(math.Float64bits(math.Inf(-1)))
+		g.producers = append(g.producers, p)
+		out[i] = p
+	}
+	g.mu.Unlock()
+	g.nudge()
+	return out
+}
+
+// watermarkFloor returns the smallest watermark over all producers — the
+// event time below which no further submission can arrive. +Inf once every
+// producer has closed; -Inf while any producer has yet to submit, or
+// before any producer is registered at all (so a drain that races producer
+// registration releases nothing prematurely).
+func (g *Gateway) watermarkFloor() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.producers) == 0 {
+		return math.Inf(-1)
+	}
+	floor := math.Inf(1)
+	for _, p := range g.producers {
+		if w := math.Float64frombits(p.watermark.Load()); w < floor {
+			floor = w
+		}
+	}
+	return floor
+}
+
+// nudge wakes the drainer without blocking.
+func (g *Gateway) nudge() {
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Producer is one goroutine's submission handle.
+type Producer struct {
+	gw        *Gateway
+	watermark atomic.Uint64 // float64 bits; monotone, single-writer
+	last      float64       // last submitted event time (clamp floor)
+	started   bool
+	closed    bool
+}
+
+// Submit admits one request, stamping it into total order and enqueueing
+// it on its shard queue. Event times must be nondecreasing per producer;
+// an out-of-order time is clamped to the producer's previous one, exactly
+// as the engines clamp against their clock. It reports whether the request
+// was admitted — false only when ShedDeadline refuses a request whose
+// window is already blown (a shed-oldest eviction drops the queue head,
+// not the submission).
+//
+// Submit may block when the target queue is full and the policy is Block
+// or ShedDeadline; the drain frees it.
+func (p *Producer) Submit(req sim.Request) bool {
+	if p.closed {
+		panic("ingest: Submit on a closed Producer")
+	}
+	if !p.started {
+		p.started = true
+		p.last = math.Inf(-1)
+	}
+	if req.Time < p.last {
+		req.Time = p.last
+	}
+	p.last = req.Time
+	// Watermark before enqueue: once a drainer observes this store, the
+	// request is either already in its queue or will carry an event time
+	// >= the watermark, which is what makes strict-below-floor release
+	// order-safe.
+	p.watermark.Store(math.Float64bits(req.Time))
+	g := p.gw
+	g.advanceNow(req.Time)
+	if g.cfg.Policy == ShedDeadline {
+		if lag := g.Now() - req.Time; lag > g.window(req) {
+			g.shedDeadline.Add(1)
+			g.nudge() // the watermark advanced; release may be unblocked
+			return false
+		}
+	}
+	s := stamped{req: req, seq: g.seq.Add(1), wall: time.Now()}
+	q := g.queues[dispatch.ShardIndex(req.ID, len(g.queues))]
+	// Nudge on both sides of the push: before, so a push that blocks on a
+	// full queue always has a drainer sweep pending to free it; after, so
+	// the enqueued request itself is noticed. Under ShedOldest the push
+	// makes room by evicting the queue head, so the submitted request
+	// itself is always admitted.
+	g.nudge()
+	q.push(s, g.cfg.Policy == ShedOldest)
+	g.nudge()
+	return true
+}
+
+// Close marks the producer finished: its watermark rises to +Inf so the
+// drain can release everything behind it. Close is idempotent.
+func (p *Producer) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.watermark.Store(math.Float64bits(math.Inf(1)))
+	p.gw.nudge()
+}
+
+// Drain consumes the gateway: it releases admitted requests to sink in
+// stamped order, blocking as needed, and returns once every producer has
+// closed and every queue is empty. It must be called from exactly one
+// goroutine, concurrently with the producers.
+//
+// Release discipline: a request is handed to sink only when its event time
+// is strictly below the producer watermark floor (or unconditionally once
+// all producers closed), so no later submission can ever precede it in
+// stamped order.
+//
+// Memory caveat: every sweep moves queued requests into the drainer's
+// reorder heap even while the watermark floor blocks their release, so
+// gateway memory is bounded by producer time-skew, not by Queues x Depth —
+// under Block, a producer lagging far behind the others lets the heap grow
+// by one entry per submission the fast producers make. ingest.Drive bounds
+// that skew structurally (round-robin fan-out over small buffered
+// channels); external producers under Block should likewise keep their
+// event times loosely synchronized or bound their own skew.
+func (g *Gateway) Drain(sink func(sim.Request)) {
+	for {
+		// Floor first, queues second: any request with an event time below
+		// the floor read here was already enqueued when the floor was
+		// computed (its producer's watermark had to advance past it), so
+		// the sweep below cannot miss it.
+		floor := g.watermarkFloor()
+		for _, q := range g.queues {
+			q.drainInto(&g.heap)
+		}
+		released := false
+		for g.heap.Len() > 0 {
+			// Strictly below the floor: an event time equal to the floor
+			// could still be preceded (in ID order) by an in-flight
+			// submission at the same time. A +Inf floor releases all.
+			if top := g.heap.peek(); top.req.Time >= floor {
+				break
+			}
+			s := g.heap.pop()
+			released = true
+			if g.cfg.Policy == ShedDeadline {
+				if lag := g.Now() - s.req.Time; lag > g.window(s.req) {
+					g.shedDeadline.Add(1)
+					continue
+				}
+			}
+			g.admitted++
+			g.ingressWaitNs = append(g.ingressWaitNs, time.Since(s.wall).Nanoseconds())
+			sink(s.req)
+		}
+		if math.IsInf(floor, 1) && g.heap.Len() == 0 && g.queuesEmpty() {
+			return
+		}
+		if !released {
+			<-g.wake
+		}
+	}
+}
+
+func (g *Gateway) queuesEmpty() bool {
+	for _, q := range g.queues {
+		if q.len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MetricsInto folds the gateway's ingress counters into m. Call after
+// Drain returns (or between fan-ins, when producers are quiescent).
+func (g *Gateway) MetricsInto(m *sim.Metrics) {
+	m.Admitted += g.admitted
+	m.ShedDeadline += int(g.shedDeadline.Load())
+	peak := 0
+	overflow := 0
+	for _, q := range g.queues {
+		p, o := q.stats()
+		if p > peak {
+			peak = p
+		}
+		overflow += o
+	}
+	if peak > m.IngressQueuePeak {
+		m.IngressQueuePeak = peak
+	}
+	m.ShedOverflow += overflow
+	for _, ns := range g.ingressWaitNs {
+		m.AddIngressWait(time.Duration(ns))
+	}
+}
+
+// Metrics returns a fresh sim.Metrics carrying only the gateway's ingress
+// counters.
+func (g *Gateway) Metrics() *sim.Metrics {
+	m := sim.NewMetrics()
+	g.MetricsInto(m)
+	return m
+}
+
+// stampHeap is a min-heap over stamped order; drainer-local, so no
+// locking. Hand-rolled rather than container/heap (the codebase norm
+// elsewhere) because this sits on the gateway's fan-in hot path — the
+// interface-based API would box every stamped value per push/pop, and the
+// raw gateway moves millions of requests a second (BenchmarkIngressFanIn).
+// TestStampHeapOrdering pins the heap property.
+type stampHeap []stamped
+
+func (h stampHeap) Len() int { return len(h) }
+
+func (h stampHeap) peek() stamped { return h[0] }
+
+func (h *stampHeap) push(s stamped) {
+	*h = append(*h, s)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h)[i].before((*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *stampHeap) pop() stamped {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = stamped{}
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h)[l].before((*h)[small]) {
+			small = l
+		}
+		if r < n && (*h)[r].before((*h)[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}

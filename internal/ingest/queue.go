@@ -1,0 +1,76 @@
+package ingest
+
+import "sync"
+
+// queue is one bounded admission queue: multi-producer (any producer whose
+// requests key to this shard), single-consumer (the drainer). A mutexed
+// ring buffer — producers contend only with producers mapped to the same
+// shard and with the drainer's sweep, which is the point of keying queues
+// by dispatch.ShardIndex instead of funnelling every producer through one
+// lock.
+type queue struct {
+	mu      sync.Mutex
+	notFull sync.Cond
+	buf     []stamped
+	head    int // index of the oldest element
+	n       int // occupied count
+
+	peak     int // deepest the queue ever got
+	overflow int // shed-oldest evictions
+}
+
+func newQueue(depth int) *queue {
+	q := &queue{buf: make([]stamped, depth)}
+	q.notFull.L = &q.mu
+	return q
+}
+
+// push enqueues s. When the ring is full: with shedOldest it evicts the
+// oldest entry (FIFO head, counted as overflow) to make room; otherwise it
+// blocks until the drainer frees space.
+func (q *queue) push(s stamped, shedOldest bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == len(q.buf) {
+		if shedOldest {
+			q.buf[q.head] = stamped{}
+			q.head = (q.head + 1) % len(q.buf)
+			q.n--
+			q.overflow++
+			break
+		}
+		q.notFull.Wait()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = s
+	q.n++
+	if q.n > q.peak {
+		q.peak = q.n
+	}
+}
+
+// drainInto moves every queued entry into the drainer's heap and frees any
+// blocked producers.
+func (q *queue) drainInto(h *stampHeap) {
+	q.mu.Lock()
+	for ; q.n > 0; q.n-- {
+		h.push(q.buf[q.head])
+		q.buf[q.head] = stamped{}
+		q.head = (q.head + 1) % len(q.buf)
+	}
+	q.mu.Unlock()
+	q.notFull.Broadcast()
+}
+
+// len reports the current depth.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// stats reports the peak depth and shed-oldest eviction count.
+func (q *queue) stats() (peak, overflow int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.peak, q.overflow
+}

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -71,6 +72,22 @@ type Metrics struct {
 	DistCacheMisses uint64
 	PathCacheHits   uint64
 	PathCacheMisses uint64
+
+	// Ingress-gateway counters (internal/ingest), zero when requests are
+	// fed directly. Admitted counts requests that cleared admission and
+	// were handed to an engine; ShedOverflow counts requests evicted by a
+	// full queue under the shed-oldest policy, ShedDeadline requests
+	// dropped because their waiting-time window was already blown before
+	// they could be dispatched. IngressQueuePeak is the deepest any
+	// admission queue ever got.
+	Admitted         int
+	ShedOverflow     int
+	ShedDeadline     int
+	IngressQueuePeak int
+
+	// ingressWaitNs samples the wall time each admitted request spent in
+	// the gateway, admission to handoff.
+	ingressWaitNs []int64
 }
 
 // CacheStatser is implemented by caching oracle stacks that report
@@ -165,6 +182,57 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.DistCacheMisses += o.DistCacheMisses
 	m.PathCacheHits += o.PathCacheHits
 	m.PathCacheMisses += o.PathCacheMisses
+	m.Admitted += o.Admitted
+	m.ShedOverflow += o.ShedOverflow
+	m.ShedDeadline += o.ShedDeadline
+	if o.IngressQueuePeak > m.IngressQueuePeak {
+		m.IngressQueuePeak = o.IngressQueuePeak
+	}
+	m.ingressWaitNs = append(m.ingressWaitNs, o.ingressWaitNs...)
+}
+
+// Shed is the total number of requests the ingress gateway dropped, over
+// every shed reason.
+func (m *Metrics) Shed() int { return m.ShedOverflow + m.ShedDeadline }
+
+// AddIngressWait records one admitted request's gateway residence time
+// (admission to handoff).
+func (m *Metrics) AddIngressWait(d time.Duration) {
+	m.ingressWaitNs = append(m.ingressWaitNs, d.Nanoseconds())
+}
+
+// IngressWaitMean returns the mean gateway residence time over admitted
+// requests, or 0 before any handoffs.
+func (m *Metrics) IngressWaitMean() time.Duration {
+	if len(m.ingressWaitNs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, ns := range m.ingressWaitNs {
+		sum += ns
+	}
+	return time.Duration(sum / int64(len(m.ingressWaitNs)))
+}
+
+// IngressWaitP99 returns the 99th-percentile gateway residence time, or 0
+// before any handoffs.
+func (m *Metrics) IngressWaitP99() time.Duration { return m.ingressWaitQuantile(0.99) }
+
+func (m *Metrics) ingressWaitQuantile(q float64) time.Duration {
+	n := len(m.ingressWaitNs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), m.ingressWaitNs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return time.Duration(sorted[idx])
 }
 
 // SetCacheStats overwrites the cache counters from an oracle stack's
@@ -275,6 +343,14 @@ type Snapshot struct {
 	PathCacheHits    uint64  `json:"path_cache_hits"`
 	PathCacheMisses  uint64  `json:"path_cache_misses"`
 	PathCacheHitRate float64 `json:"path_cache_hit_rate"`
+
+	Admitted           int   `json:"admitted"`
+	ShedOverflow       int   `json:"shed_overflow"`
+	ShedDeadline       int   `json:"shed_deadline"`
+	IngressQueuePeak   int   `json:"ingress_queue_peak"`
+	IngressWaitMeanNs  int64 `json:"ingress_wait_mean_ns"`
+	IngressWaitP99Ns   int64 `json:"ingress_wait_p99_ns"`
+	IngressWaitSamples int   `json:"ingress_wait_samples"`
 }
 
 // ARTBucket is one ART histogram bucket in a Snapshot.
@@ -317,6 +393,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		PathCacheHits:    m.PathCacheHits,
 		PathCacheMisses:  m.PathCacheMisses,
 		PathCacheHitRate: m.PathCacheHitRate(),
+
+		Admitted:           m.Admitted,
+		ShedOverflow:       m.ShedOverflow,
+		ShedDeadline:       m.ShedDeadline,
+		IngressQueuePeak:   m.IngressQueuePeak,
+		IngressWaitMeanNs:  m.IngressWaitMean().Nanoseconds(),
+		IngressWaitP99Ns:   m.IngressWaitP99().Nanoseconds(),
+		IngressWaitSamples: len(m.ingressWaitNs),
 	}
 	for _, b := range m.ARTBuckets() {
 		d, n := m.ART(b)

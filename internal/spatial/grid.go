@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // ObjectID identifies a moving object (a server/vehicle) in the index.
@@ -17,9 +18,15 @@ type ObjectID int32
 // GridIndex partitions the bounding box of the road network into square
 // cells and tracks which cell each object occupies.
 //
-// Not safe for concurrent use; the simulator's matching path is
-// single-threaded, as in the paper.
+// Safe for concurrent use: queries (Within, Len, Stats) take a read lock
+// and writes (Insert, Update, Remove) a write lock, so any number of
+// concurrent readers can run against a vehicle-relocation writer. The
+// sequential simulator and the dispatch shards still drive their indexes
+// from one goroutine at a time — the lock is uncontended there — but the
+// index no longer relies on it, so a concurrent front door can consult
+// fleet positions while position reports relocate vehicles.
 type GridIndex struct {
+	mu         sync.RWMutex
 	minX, minY float64
 	cellSize   float64
 	cols, rows int
@@ -71,12 +78,18 @@ func (g *GridIndex) cellOf(x, y float64) int {
 }
 
 // Len returns the number of indexed objects.
-func (g *GridIndex) Len() int { return len(g.loc) }
+func (g *GridIndex) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.loc)
+}
 
 // Insert adds an object at (x, y). Inserting an existing ID is an Update.
 func (g *GridIndex) Insert(id ObjectID, x, y float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if _, ok := g.loc[id]; ok {
-		g.Update(id, x, y)
+		g.update(id, x, y)
 		return
 	}
 	c := g.cellOf(x, y)
@@ -91,6 +104,13 @@ func (g *GridIndex) Insert(id ObjectID, x, y float64) {
 // crosses a cell boundary, which is what keeps maintenance cheap for
 // vehicles reporting locations every 20–60 seconds.
 func (g *GridIndex) Update(id ObjectID, x, y float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.update(id, x, y)
+}
+
+// update is Update under a held write lock.
+func (g *GridIndex) update(id ObjectID, x, y float64) {
 	g.updates++
 	old, ok := g.loc[id]
 	c := g.cellOf(x, y)
@@ -110,6 +130,8 @@ func (g *GridIndex) Update(id ObjectID, x, y float64) {
 
 // Remove deletes an object from the index. Removing an absent ID is a no-op.
 func (g *GridIndex) Remove(id ObjectID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if c, ok := g.loc[id]; ok {
 		delete(g.cells[c], id)
 		delete(g.loc, id)
@@ -131,6 +153,8 @@ func (g *GridIndex) Within(dst []ObjectID, x, y, r float64) []ObjectID {
 	if r < 0 {
 		return dst
 	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	start := len(dst)
 	cx0 := int(math.Floor((x - r - g.minX) / g.cellSize))
 	cx1 := int(math.Floor((x + r - g.minX) / g.cellSize))
@@ -163,4 +187,8 @@ func (g *GridIndex) Within(dst []ObjectID, x, y, r float64) []ObjectID {
 
 // Stats returns the total number of Update calls and how many of them
 // actually crossed a cell boundary.
-func (g *GridIndex) Stats() (updates, crossings uint64) { return g.updates, g.moves }
+func (g *GridIndex) Stats() (updates, crossings uint64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.updates, g.moves
+}

@@ -1,8 +1,10 @@
 package spatial
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -184,5 +186,103 @@ func TestWithinSortedOrder(t *testing.T) {
 		if got[i-1] >= got[i] {
 			t.Fatalf("appended region unsorted: %v", got[1:])
 		}
+	}
+}
+
+// TestConcurrentReadersDuringRelocation closes the race-test gap the
+// dispatch PRs left: many goroutines query the index (Within, Len, Stats)
+// while a relocation writer streams position Updates that cross cell
+// boundaries, and a churn writer Inserts/Removes objects. Run under
+// -race in CI; the index must stay internally consistent (every query
+// yields valid, sorted, duplicate-free IDs).
+func TestConcurrentReadersDuringRelocation(t *testing.T) {
+	const (
+		objects = 200
+		readers = 4
+		rounds  = 40
+	)
+	g, err := NewGridIndex(0, 0, 10000, 10000, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < objects; i++ {
+		g.Insert(ObjectID(i), float64(i*37%10000), float64(i*91%10000))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Relocation writer: every object drifts across cell boundaries.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < objects; i++ {
+				g.Update(ObjectID(i), rng.Float64()*10000, rng.Float64()*10000)
+			}
+		}
+		close(stop)
+	}()
+
+	// Churn writer: a disjoint ID range is inserted and removed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := ObjectID(objects + i%50)
+			g.Insert(id, rng.Float64()*10000, rng.Float64()*10000)
+			g.Remove(id)
+		}
+	}()
+
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var buf []ObjectID
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = g.Within(buf[:0], rng.Float64()*10000, rng.Float64()*10000, 1500)
+				for i, id := range buf {
+					if id < 0 || int(id) >= objects+50 {
+						errs <- fmt.Errorf("Within returned out-of-range ID %d", id)
+						return
+					}
+					// Strictly increasing implies sorted and duplicate-free.
+					if i > 0 && buf[i-1] >= id {
+						errs <- fmt.Errorf("Within not sorted: %d before %d", buf[i-1], id)
+						return
+					}
+				}
+				if n := g.Len(); n < objects {
+					errs <- fmt.Errorf("Len=%d below the %d permanent objects", n, objects)
+					return
+				}
+				g.Stats()
+			}
+		}(int64(r) + 10)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	updates, crossings := g.Stats()
+	if updates < objects*rounds || crossings == 0 {
+		t.Fatalf("writer made %d updates / %d crossings — relocation never ran", updates, crossings)
 	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/roadnet"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // ShanghaiTrips is the size of the paper's one-day trip dataset.
@@ -65,16 +66,11 @@ func (o GenOptions) withDefaults() GenOptions {
 	return o
 }
 
-// rateAt returns the relative request intensity at time-of-day t (seconds),
-// a double-peaked curve with morning and evening rush hours and a nighttime
-// trough.
+// rateAt returns the relative request intensity at time-of-day t (seconds):
+// the repo-wide demand curve, shared with the streaming generator so that
+// replayed and streamed demand stay the same shape.
 func rateAt(t, horizon float64) float64 {
-	h := 24 * t / horizon // hour of day
-	peak := func(center, width float64) float64 {
-		d := (h - center) / width
-		return math.Exp(-d * d / 2)
-	}
-	return 0.15 + peak(8.5, 1.5) + 0.9*peak(18, 2)
+	return workload.DayCurve(t, horizon)
 }
 
 // Generate produces a request stream on g, sorted by time. Endpoints are
@@ -188,6 +184,7 @@ func ReadCSV(r io.Reader, g *roadnet.Graph) ([]sim.Request, error) {
 		return nil, fmt.Errorf("trace: unexpected header %v", header)
 	}
 	var reqs []sim.Request
+	seen := make(map[int64]int)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -215,8 +212,27 @@ func ReadCSV(r io.Reader, g *roadnet.Graph) ([]sim.Request, error) {
 		if pu < 0 || int(pu) >= g.N() || do < 0 || int(do) >= g.N() {
 			return nil, fmt.Errorf("trace: line %d: vertex out of range", line)
 		}
+		// IDs are load-bearing for ordering: replay and the ingress gateway
+		// both break timestamp ties by ID, and a duplicate would make the
+		// multi-producer order nondeterministic (the gateway falls through
+		// to its scheduling-dependent admission tick). Reject rather than
+		// silently lose the bit-identical replay guarantee.
+		if prev, ok := seen[id]; ok {
+			return nil, fmt.Errorf("trace: line %d: duplicate id %d (first on line %d)", line, id, prev)
+		}
+		seen[id] = line
 		reqs = append(reqs, sim.Request{ID: id, Time: t, Pickup: roadnet.VertexID(pu), Dropoff: roadnet.VertexID(do)})
 	}
-	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Time < reqs[j].Time })
+	// (Time, ID) rather than stable-by-Time: real traces have coarse
+	// (second-granularity) timestamps, so ties are routine, and breaking
+	// them by ID makes the replay order independent of CSV row order and
+	// identical to the ingress gateway's stamped release order — which is
+	// what keeps gateway runs bit-identical to direct replay.
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].Time != reqs[j].Time {
+			return reqs[i].Time < reqs[j].Time
+		}
+		return reqs[i].ID < reqs[j].ID
+	})
 	return reqs, nil
 }

@@ -171,10 +171,31 @@ func TestReadCSVErrors(t *testing.T) {
 		"id,time,pickup,dropoff\n1,xyz,0,1\n",
 		"id,time,pickup,dropoff\n1,0,999999,1\n",
 		"id,time,pickup,dropoff\n1,0,0\n",
+		// Duplicate id: IDs break timestamp ties for replay and gateway
+		// ordering, so a duplicate would make the order nondeterministic.
+		"id,time,pickup,dropoff\n1,0,0,1\n1,5,0,1\n",
 	}
 	for i, c := range cases {
 		if _, err := ReadCSV(strings.NewReader(c), g); err == nil {
 			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestReadCSVSortsTiesByID: coarse real-trace timestamps make ties routine;
+// the loader must order them by ID regardless of row order, matching the
+// ingress gateway's stamped release order.
+func TestReadCSVSortsTiesByID(t *testing.T) {
+	g := testGraph(t)
+	in := "id,time,pickup,dropoff\n7,100,0,1\n3,100,1,2\n9,50,2,3\n"
+	got, err := ReadCSV(strings.NewReader(in), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{9, 3, 7}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("order %v, want %v", []int64{got[0].ID, got[1].ID, got[2].ID}, want)
 		}
 	}
 }

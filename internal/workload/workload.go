@@ -1,0 +1,313 @@
+// Package workload is the streaming open-loop load generator: it produces
+// an unbounded-in-principle, time-sorted trip-request stream one request
+// at a time, instead of materializing a day of demand as a slice the way
+// internal/trace does. Open-loop means arrivals follow a stochastic
+// process independent of how fast the system drains them — the
+// load-testing discipline real-time dispatchers are judged under — and
+// streaming means the driver (ingest.Drive) can fan the requests out to
+// concurrent producer goroutines as they are drawn.
+//
+// Three arrival patterns cover the paper-shaped scenarios:
+//
+//   - Poisson: homogeneous arrivals at a constant mean rate, endpoints
+//     drawn from the usual uniform/hotspot mixture — steady city traffic;
+//   - Surge: a non-homogeneous Poisson process (thinning) against the
+//     double rush-hour day curve — morning and evening peaks over a
+//     nighttime trough, the demand shape of the paper's Shanghai day;
+//   - Hotspot: homogeneous arrivals whose pickups concentrate on a few
+//     tight clusters (airport curbs, stadium gates) while dropoffs spread
+//     city-wide — the spatial mix that stresses kinetic-tree blow-up and
+//     motivates hotspot clustering (paper §V).
+//
+// A Generator is deterministic for a fixed seed: the same options produce
+// the same stream request for request, which is what makes multi-producer
+// ingress runs reproducible and comparable against single-producer
+// baselines.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+)
+
+// Pattern selects the arrival process and spatial mix.
+type Pattern int
+
+const (
+	// Poisson is steady traffic: exponential inter-arrivals at the mean
+	// rate, mixed uniform/hotspot endpoints.
+	Poisson Pattern = iota
+	// Surge follows the double rush-hour day curve via thinning.
+	Surge
+	// Hotspot concentrates pickups on a few tight clusters with
+	// city-wide dropoffs.
+	Hotspot
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Poisson:
+		return "poisson"
+	case Surge:
+		return "surge"
+	case Hotspot:
+		return "hotspot"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// ParsePattern maps the CLI spellings (poisson, surge, hotspot) to a
+// Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	for _, p := range []Pattern{Poisson, Surge, Hotspot} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown arrival pattern %q", s)
+}
+
+// Options configures a Generator. Zero values select the defaults noted
+// per field.
+type Options struct {
+	Pattern Pattern
+	// Trips caps the stream length when positive; with Trips == 0 the
+	// stream ends at the horizon with however many requests the arrival
+	// process produced.
+	Trips int
+	// HorizonSeconds bounds request times (default 86400, one day).
+	HorizonSeconds float64
+	// Rate is the mean arrival rate in requests/second. 0 derives it
+	// from Trips over the horizon (so a Trips-capped stream spans the
+	// whole day on average); with both zero, New fails.
+	Rate float64
+	// Hotspots is the number of high-demand clusters (default 8; the
+	// Hotspot pattern defaults to 3 tighter ones).
+	Hotspots int
+	// HotspotSigma is a cluster's spatial spread in meters (default 800;
+	// 300 for the Hotspot pattern).
+	HotspotSigma float64
+	// HotspotFrac is the fraction of endpoints drawn from clusters
+	// (default 0.6; for the Hotspot pattern, the fraction of pickups,
+	// default 0.9).
+	HotspotFrac float64
+	// MinTripMeters rejects trips shorter than this Euclidean length
+	// (default 1000).
+	MinTripMeters float64
+	Seed          int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.HorizonSeconds == 0 {
+		o.HorizonSeconds = 86400
+	}
+	if o.Hotspots == 0 {
+		if o.Pattern == Hotspot {
+			o.Hotspots = 3
+		} else {
+			o.Hotspots = 8
+		}
+	}
+	if o.HotspotSigma == 0 {
+		if o.Pattern == Hotspot {
+			o.HotspotSigma = 300
+		} else {
+			o.HotspotSigma = 800
+		}
+	}
+	if o.HotspotFrac == 0 {
+		if o.Pattern == Hotspot {
+			o.HotspotFrac = 0.9
+		} else {
+			o.HotspotFrac = 0.6
+		}
+	}
+	if o.MinTripMeters == 0 {
+		o.MinTripMeters = 1000
+	}
+	return o
+}
+
+// DayCurve is the relative request intensity at time-of-day t over the
+// horizon: morning and evening rush-hour peaks over a nighttime trough
+// (mean ≈ 0.5 over the day). It is THE demand curve of the repo — the
+// trace replayer (internal/trace) and the Surge pattern both draw from it,
+// so tuning it retunes replayed and streamed demand together.
+func DayCurve(t, horizon float64) float64 {
+	h := 24 * t / horizon // hour of day
+	peak := func(center, width float64) float64 {
+		d := (h - center) / width
+		return math.Exp(-d * d / 2)
+	}
+	return 0.15 + peak(8.5, 1.5) + 0.9*peak(18, 2)
+}
+
+// Generator draws the stream. Not safe for concurrent use: one goroutine
+// pulls (ingest.Drive does this) and fans out from there.
+type Generator struct {
+	opt     Options
+	g       *roadnet.Graph
+	rng     *rand.Rand
+	locator *roadnet.VertexLocator
+
+	spots                  []spot
+	minX, minY, maxX, maxY float64
+
+	baseRate  float64 // homogeneous rate, or the thinning envelope
+	shapeMax  float64 // max of DayCurve over the horizon
+	shapeMean float64 // mean of DayCurve over the horizon
+
+	t     float64 // current stream time
+	count int     // requests emitted
+	done  bool
+	err   error // sampling failure that ended the stream early
+}
+
+type spot struct{ x, y float64 }
+
+// New builds a generator over g. Either Trips or Rate must be positive.
+func New(g *roadnet.Graph, opt Options) (*Generator, error) {
+	opt = opt.withDefaults()
+	if g.N() < 2 {
+		return nil, fmt.Errorf("workload: graph too small (%d vertices)", g.N())
+	}
+	if opt.Trips <= 0 && opt.Rate <= 0 {
+		return nil, fmt.Errorf("workload: need Trips or Rate")
+	}
+	gen := &Generator{
+		opt:     opt,
+		g:       g,
+		rng:     rand.New(rand.NewSource(opt.Seed)),
+		locator: roadnet.NewVertexLocator(g, 8),
+	}
+	gen.minX, gen.minY, gen.maxX, gen.maxY = g.Bounds()
+	for i := 0; i < opt.Hotspots; i++ {
+		gen.spots = append(gen.spots, spot{
+			x: gen.minX + gen.rng.Float64()*(gen.maxX-gen.minX),
+			y: gen.minY + gen.rng.Float64()*(gen.maxY-gen.minY),
+		})
+	}
+	// Deterministic numeric sweep of the day curve for the thinning
+	// envelope and the Trips -> Rate normalization.
+	gen.shapeMax, gen.shapeMean = 0, 0
+	const samples = 200
+	for i := 0; i < samples; i++ {
+		s := DayCurve(opt.HorizonSeconds*float64(i)/samples, opt.HorizonSeconds)
+		gen.shapeMax = math.Max(gen.shapeMax, s)
+		gen.shapeMean += s / samples
+	}
+	rate := opt.Rate
+	if rate <= 0 {
+		rate = float64(opt.Trips) / opt.HorizonSeconds
+	}
+	if opt.Pattern == Surge {
+		// rate is the desired mean; the envelope rate is scaled so that
+		// thinning against shape/shapeMax preserves that mean.
+		gen.baseRate = rate * gen.shapeMax / gen.shapeMean
+	} else {
+		gen.baseRate = rate
+	}
+	return gen, nil
+}
+
+// Next draws the following request: a monotone arrival time from the
+// pattern's process and endpoints from its spatial mix, snapped to graph
+// vertices. ok is false once the stream has ended — Trips emitted, the
+// horizon passed, or trip sampling failed (the one abnormal ending,
+// reported by Err).
+func (gen *Generator) Next() (req sim.Request, ok bool) {
+	if gen.done || (gen.opt.Trips > 0 && gen.count >= gen.opt.Trips) {
+		gen.done = true
+		return sim.Request{}, false
+	}
+	for {
+		// Exponential inter-arrival against the envelope rate...
+		gen.t += gen.rng.ExpFloat64() / gen.baseRate
+		if gen.t > gen.opt.HorizonSeconds {
+			gen.done = true
+			return sim.Request{}, false
+		}
+		// ...thinned by the day curve for the non-homogeneous Surge.
+		if gen.opt.Pattern == Surge &&
+			gen.rng.Float64()*gen.shapeMax > DayCurve(gen.t, gen.opt.HorizonSeconds) {
+			continue
+		}
+		break
+	}
+	s, e, ok := gen.sampleTrip()
+	if !ok {
+		// Not a normal end: the spatial mix can't produce a valid trip on
+		// this graph. End the stream but record it, so callers can tell a
+		// truncated workload from one that ran out the horizon (Err).
+		gen.done = true
+		gen.err = fmt.Errorf(
+			"workload: no valid trip after 200 samples at t=%.0fs (%d emitted); graph too small for MinTripMeters=%.0f?",
+			gen.t, gen.count, gen.opt.MinTripMeters)
+		return sim.Request{}, false
+	}
+	req = sim.Request{ID: int64(gen.count), Time: gen.t, Pickup: s, Dropoff: e}
+	gen.count++
+	return req, true
+}
+
+// sampleTrip draws one (pickup, dropoff) pair per the pattern's spatial
+// mix, rejecting degenerate and too-short trips.
+func (gen *Generator) sampleTrip() (s, e roadnet.VertexID, ok bool) {
+	for tries := 0; tries < 200; tries++ {
+		var sx, sy, ex, ey float64
+		if gen.opt.Pattern == Hotspot {
+			// Clustered pickups (airport curbs), city-wide dropoffs.
+			sx, sy = gen.samplePoint(gen.opt.HotspotFrac)
+			ex, ey = gen.sampleUniform()
+		} else {
+			sx, sy = gen.samplePoint(gen.opt.HotspotFrac)
+			ex, ey = gen.samplePoint(gen.opt.HotspotFrac)
+		}
+		s = gen.locator.Nearest(sx, sy)
+		e = gen.locator.Nearest(ex, ey)
+		if s != e && gen.g.EuclideanDist(s, e) >= gen.opt.MinTripMeters {
+			return s, e, true
+		}
+	}
+	return 0, 0, false
+}
+
+// samplePoint draws from the cluster mixture: with probability frac a
+// Gaussian around a random hotspot, otherwise uniform over the bounds.
+func (gen *Generator) samplePoint(frac float64) (float64, float64) {
+	if gen.rng.Float64() < frac && len(gen.spots) > 0 {
+		s := gen.spots[gen.rng.Intn(len(gen.spots))]
+		return s.x + gen.rng.NormFloat64()*gen.opt.HotspotSigma,
+			s.y + gen.rng.NormFloat64()*gen.opt.HotspotSigma
+	}
+	return gen.sampleUniform()
+}
+
+func (gen *Generator) sampleUniform() (float64, float64) {
+	return gen.minX + gen.rng.Float64()*(gen.maxX-gen.minX),
+		gen.minY + gen.rng.Float64()*(gen.maxY-gen.minY)
+}
+
+// Err reports why the stream ended early, if it did: non-nil only when
+// trip sampling failed (the graph can't satisfy the spatial mix), nil for
+// the normal Trips-cap and horizon endings. Check it after the stream is
+// drained.
+func (gen *Generator) Err() error { return gen.err }
+
+// All drains the remaining stream into a slice — the bridge to the
+// slice-replay engines and to baselines that need the same demand twice
+// (regenerate with the same seed for an identical stream).
+func (gen *Generator) All() []sim.Request {
+	var out []sim.Request
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, req)
+	}
+}
