@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
 	"repro/internal/sp"
@@ -347,8 +348,24 @@ func BenchmarkDispatchThroughput(b *testing.B) {
 		return cache.New(sp.NewBidirectional(world.Graph), world.Graph.N(), 1<<20, 1<<12)
 	}
 	const fleet = 1200
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	// The obs=on variants run the identical workload with lifecycle
+	// tracing and live counters enabled — the acceptance bar is that full
+	// instrumentation costs under 5% of throughput (assignments are
+	// bit-identical either way; the traced equivalence tests pin that).
+	for _, bc := range []struct {
+		workers int
+		obsOn   bool
+	}{
+		{1, false}, {2, false}, {4, false}, {8, false},
+		{1, true}, {4, true},
+	} {
+		workers := bc.workers
+		name := fmt.Sprintf("workers=%d", workers)
+		if bc.obsOn {
+			name += "/obs=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var m *sim.Metrics
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				cfg := sim.Config{
@@ -359,6 +376,10 @@ func BenchmarkDispatchThroughput(b *testing.B) {
 					Seed:      9,
 					Workers:   workers,
 				}
+				if bc.obsOn {
+					cfg.Trace = obs.NewTracer(0)
+					cfg.Live = &obs.Live{}
+				}
 				e, err := dispatch.New(cfg, factory)
 				if err != nil {
 					b.Fatal(err)
@@ -368,7 +389,7 @@ func BenchmarkDispatchThroughput(b *testing.B) {
 					e.Submit(world.Requests[j])
 				}
 				b.StopTimer()
-				m := e.Metrics()
+				m = e.Metrics()
 				if m.Matched == 0 {
 					b.Fatal("nothing matched")
 				}
@@ -379,8 +400,25 @@ func BenchmarkDispatchThroughput(b *testing.B) {
 				e.Close()
 				b.StartTimer()
 			}
-			b.ReportMetric(float64(len(world.Requests))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			reqPerSec := float64(len(world.Requests)) * float64(b.N) / b.Elapsed().Seconds()
+			p99Match := m.MatchLatency.Quantile(0.99)
+			b.ReportMetric(reqPerSec, "req/s")
+			b.ReportMetric(float64(p99Match), "p99-match-ns")
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			if dir := obs.BenchDir(); dir != "" {
+				benchName := fmt.Sprintf("dispatch_throughput_workers%d", workers)
+				if bc.obsOn {
+					benchName += "_obs"
+				}
+				r := obs.NewBenchResult(benchName)
+				r.Metrics["req_per_sec"] = reqPerSec
+				r.Metrics["p99_match_latency_ns"] = float64(p99Match)
+				r.Metrics["dist_cache_hit_rate"] = m.DistCacheHitRate()
+				r.Metrics["path_cache_hit_rate"] = m.PathCacheHitRate()
+				if err := obs.WriteBench(dir, r); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

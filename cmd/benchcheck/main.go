@@ -1,0 +1,73 @@
+// Command benchcheck validates benchmark result files. It globs
+// BENCH_*.json in each directory argument (default ".") and
+// schema-checks every file with obs.ValidateBench, printing a one-line
+// summary per result. It exits nonzero when a file is malformed or — with
+// -min-files — when fewer results than expected were found, so CI's
+// benchmark smoke step fails loudly instead of silently emitting nothing.
+//
+//	BENCH_JSON_DIR=out go test -bench BenchmarkDispatchThroughput -benchtime 1x .
+//	benchcheck -min-files 4 out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	minFiles := flag.Int("min-files", 1, "fail unless at least this many BENCH_*.json files are found")
+	flag.Parse()
+
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var files []string
+	for _, dir := range dirs {
+		fs, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, fs...)
+	}
+	sort.Strings(files)
+
+	bad := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := obs.ValidateBench(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", f, err)
+			bad++
+			continue
+		}
+		fmt.Printf("%s: %s @ %s (%d metrics, gomaxprocs %d)\n",
+			filepath.Base(f), r.Name, short(r.GitSHA), len(r.Metrics), r.GOMAXPROCS)
+	}
+	if bad > 0 {
+		fatal(fmt.Errorf("%d of %d result files malformed", bad, len(files)))
+	}
+	if len(files) < *minFiles {
+		fatal(fmt.Errorf("found %d BENCH_*.json files, want at least %d", len(files), *minFiles))
+	}
+}
+
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/exp"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
 	"repro/internal/sp"
@@ -69,6 +70,10 @@ type options struct {
 	queueDepth   int
 	shedPolicy   string
 	arrival      string
+	obsAddr      string
+	obsInterval  time.Duration
+	traceOut     string
+	traceCap     int
 }
 
 func main() {
@@ -97,6 +102,10 @@ func main() {
 	flag.IntVar(&o.queueDepth, "queue-depth", 256, "per-shard ingress queue capacity")
 	flag.StringVar(&o.shedPolicy, "shed-policy", "block", "ingress backpressure policy: block, shed-oldest, deadline")
 	flag.StringVar(&o.arrival, "arrival", "", "streaming workload pattern: poisson, surge, hotspot (default: replay the built trace)")
+	flag.StringVar(&o.obsAddr, "obs-addr", "", "serve live /metrics JSON and /debug/pprof on this address (e.g. localhost:6060, :0)")
+	flag.DurationVar(&o.obsInterval, "obs-interval", 0, "write interval progress snapshots to stderr as JSON lines (0 = off)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "drain the request lifecycle trace to this JSONL file at end of run")
+	flag.IntVar(&o.traceCap, "trace-cap", 0, "per-ring trace retention in events (0 = default)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -186,6 +195,33 @@ func run(o options) error {
 		g, reqs = world.Graph, world.Requests
 	}
 
+	// Observability: -trace-out turns on lifecycle tracing, and either of
+	// -obs-addr/-obs-interval turns on the live atomic counters. Both stay
+	// nil (the no-op state) otherwise — instrumentation never changes
+	// matching outcomes either way.
+	var tracer *obs.Tracer
+	var live *obs.Live
+	if o.traceOut != "" {
+		tracer = obs.NewTracer(o.traceCap)
+	}
+	if o.obsAddr != "" || o.obsInterval > 0 {
+		live = &obs.Live{}
+	}
+	if o.obsAddr != "" {
+		srv, err := obs.Serve(o.obsAddr, func() any { return live.Snapshot() })
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		if !o.jsonOut {
+			fmt.Printf("observability: /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+		}
+	}
+	if o.obsInterval > 0 {
+		rep := obs.NewReporter(os.Stderr, o.obsInterval, func() any { return live.Snapshot() })
+		defer rep.Stop()
+	}
+
 	// -arrival swaps the replayed trace for the streaming open-loop
 	// generator over the same graph: materialized for the direct feed,
 	// streamed live through the gateway when -producers is set.
@@ -200,7 +236,7 @@ func run(o options) error {
 		if trips == 0 {
 			trips = 2000
 		}
-		gen, err := workload.New(g, workload.Options{Pattern: pattern, Trips: trips, Seed: o.seed})
+		gen, err := workload.New(g, workload.Options{Pattern: pattern, Trips: trips, Seed: o.seed, Trace: tracer})
 		if err != nil {
 			return err
 		}
@@ -248,6 +284,8 @@ func run(o options) error {
 		Workers:          o.workers,
 		Shards:           o.shards,
 		BatchWindow:      o.batchWin,
+		Trace:            tracer,
+		Live:             live,
 	}
 
 	var m *sim.Metrics
@@ -274,7 +312,7 @@ func run(o options) error {
 				eng.Workers(), eng.Shards(), o.batchWin)
 		}
 		if o.producers > 0 {
-			m, wall, err = runGateway(o, eng.Shards(), cfg.WaitSeconds, src,
+			m, wall, err = runGateway(o, eng.Shards(), cfg.WaitSeconds, tracer, live, src,
 				func(r sim.Request) { eng.Enqueue(r) },
 				func() error { eng.Flush(); return eng.Drain() },
 				eng.Metrics)
@@ -303,7 +341,7 @@ func run(o options) error {
 			return err
 		}
 		if o.producers > 0 {
-			m, wall, err = runGateway(o, 1, cfg.WaitSeconds, src,
+			m, wall, err = runGateway(o, 1, cfg.WaitSeconds, tracer, live, src,
 				func(r sim.Request) { s.Submit(r) },
 				s.Drain,
 				s.Metrics)
@@ -329,6 +367,25 @@ func run(o options) error {
 	if genErr != nil {
 		if err := genErr(); err != nil {
 			return err
+		}
+	}
+
+	// Drain the lifecycle trace once the pipeline is quiescent: events from
+	// every ring, globally ordered, one JSON object per line.
+	if tracer != nil {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		written, dropped, derr := tracer.Drain(f)
+		if cerr := f.Close(); derr == nil {
+			derr = cerr
+		}
+		if derr != nil {
+			return fmt.Errorf("trace drain: %w", derr)
+		}
+		if !o.jsonOut {
+			fmt.Printf("trace: %d events -> %s (%d dropped by ring caps)\n", written, o.traceOut, dropped)
 		}
 	}
 
@@ -367,10 +424,10 @@ func run(o options) error {
 // drain the matcher behind it, and fold the gateway's ingress counters
 // into the matcher's metrics. The wall time covers submission through the
 // matcher's drain.
-func runGateway(o options, queues int, waitSeconds float64, src ingest.Source,
-	sink func(sim.Request), drain func() error, metrics func() *sim.Metrics,
+func runGateway(o options, queues int, waitSeconds float64, tracer *obs.Tracer, live *obs.Live,
+	src ingest.Source, sink func(sim.Request), drain func() error, metrics func() *sim.Metrics,
 ) (*sim.Metrics, time.Duration, error) {
-	gw, err := newGateway(o, queues, waitSeconds)
+	gw, err := newGateway(o, queues, waitSeconds, tracer, live)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -391,7 +448,7 @@ func runGateway(o options, queues int, waitSeconds float64, src ingest.Source,
 // admission queue per engine shard (keyed by dispatch.ShardIndex), the
 // configured backpressure policy, and the fleet waiting-time window for
 // deadline shedding.
-func newGateway(o options, queues int, waitSeconds float64) (*ingest.Gateway, error) {
+func newGateway(o options, queues int, waitSeconds float64, tracer *obs.Tracer, live *obs.Live) (*ingest.Gateway, error) {
 	policy, err := ingest.ParsePolicy(o.shedPolicy)
 	if err != nil {
 		return nil, err
@@ -401,6 +458,8 @@ func newGateway(o options, queues int, waitSeconds float64) (*ingest.Gateway, er
 		Depth:       o.queueDepth,
 		Policy:      policy,
 		WaitSeconds: waitSeconds,
+		Trace:       tracer,
+		Live:        live,
 	}), nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/exp"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sp"
 )
@@ -31,6 +32,7 @@ func BenchmarkIngressThroughput(b *testing.B) {
 	for _, producers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("producers=%d", producers), func(b *testing.B) {
 			var p99 time.Duration
+			var m *sim.Metrics
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				cfg := sim.Config{
@@ -54,7 +56,7 @@ func BenchmarkIngressThroughput(b *testing.B) {
 				go ingest.Drive(gw, &src, producers)
 				gw.Drain(func(r sim.Request) { e.Submit(r) })
 				b.StopTimer()
-				m := e.Metrics()
+				m = e.Metrics()
 				gw.MetricsInto(m)
 				if m.Admitted != len(world.Requests) || m.Shed() != 0 {
 					b.Fatalf("admitted %d, shed %d — blocking gateway must be lossless", m.Admitted, m.Shed())
@@ -66,9 +68,20 @@ func BenchmarkIngressThroughput(b *testing.B) {
 				e.Close()
 				b.StartTimer()
 			}
-			b.ReportMetric(float64(len(world.Requests))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			reqPerSec := float64(len(world.Requests)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(reqPerSec, "req/s")
 			b.ReportMetric(float64(p99.Microseconds()), "p99-ingress-wait-µs")
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			if dir := obs.BenchDir(); dir != "" {
+				r := obs.NewBenchResult(fmt.Sprintf("ingress_throughput_producers%d", producers))
+				r.Metrics["req_per_sec"] = reqPerSec
+				r.Metrics["p99_ingress_wait_ns"] = float64(p99.Nanoseconds())
+				r.Metrics["p99_match_latency_ns"] = float64(m.MatchLatency.Quantile(0.99))
+				r.Metrics["dist_cache_hit_rate"] = m.DistCacheHitRate()
+				if err := obs.WriteBench(dir, r); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 

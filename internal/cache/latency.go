@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// distSampleEvery makes the latency instrumentation cheap enough for the
+// distance hot path (millions of lookups per run): 1 in every 64 Dist
+// calls is timed, the rest pay one counter increment and a branch. The
+// counter is deterministic — which calls get sampled depends only on call
+// order, never on timing — so sampling cannot perturb control flow, and
+// traced/instrumented runs stay bit-identical.
+const distSampleEvery = 64
+
+// distSampler records sampled distance-lookup latency split by cache
+// outcome. Single-writer, like the oracle that owns it.
+type distSampler struct {
+	n    uint64
+	hit  *obs.Histogram
+	miss *obs.Histogram
+}
+
+func newDistSampler() *distSampler {
+	return &distSampler{hit: obs.NewHistogram(), miss: obs.NewHistogram()}
+}
+
+// start marks the beginning of one Dist call, returning the zero Time for
+// the (majority of) unsampled calls.
+func (d *distSampler) start() time.Time {
+	d.n++
+	if d.n%distSampleEvery != 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// record finishes a sampled call; no-op for unsampled ones.
+func (d *distSampler) record(start time.Time, hit bool) {
+	if start.IsZero() {
+		return
+	}
+	ns := time.Since(start).Nanoseconds()
+	if hit {
+		d.hit.Record(ns)
+	} else {
+		d.miss.Record(ns)
+	}
+}

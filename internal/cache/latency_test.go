@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/roadnet"
+	"repro/internal/sp"
+)
+
+// distinctPairs returns want ordered pairs with u < v, so the oracle's
+// reverse-direction priming can never turn a planned first-touch miss into
+// a hit.
+func distinctPairs(t *testing.T, g *roadnet.Graph, want int) [][2]roadnet.VertexID {
+	t.Helper()
+	var pairs [][2]roadnet.VertexID
+	n := roadnet.VertexID(g.N())
+	for u := roadnet.VertexID(0); u < n && len(pairs) < want; u++ {
+		for v := u + 1; v < n && len(pairs) < want; v++ {
+			pairs = append(pairs, [2]roadnet.VertexID{u, v})
+		}
+	}
+	if len(pairs) < want {
+		t.Fatalf("graph too small for %d distinct pairs", want)
+	}
+	return pairs
+}
+
+// TestOracleDistLatencySampling: the caching oracle times exactly 1 in
+// distSampleEvery Dist lookups, attributing each sample to the cache
+// outcome of that specific call.
+func TestOracleDistLatencySampling(t *testing.T) {
+	g := testGraph(t)
+	o := New(sp.NewBidirectional(g), g.N(), 1<<20, 1<<10)
+	pairs := distinctPairs(t, g, 4*distSampleEvery)
+
+	for _, p := range pairs {
+		o.Dist(p[0], p[1]) // first touch: all misses
+	}
+	hit, miss := o.DistLatency()
+	if hit.Count() != 0 || miss.Count() != 4 {
+		t.Fatalf("after miss pass: hit=%d miss=%d samples, want 0/4", hit.Count(), miss.Count())
+	}
+	for _, p := range pairs {
+		o.Dist(p[0], p[1]) // repeat: all hits
+	}
+	if hit.Count() != 4 || miss.Count() != 4 {
+		t.Fatalf("after hit pass: hit=%d miss=%d samples, want 4/4", hit.Count(), miss.Count())
+	}
+	if hit.Min() < 0 || miss.Min() < 0 {
+		t.Fatal("negative sampled latency")
+	}
+	// u == v short-circuits before the sampler and must not advance its
+	// cadence.
+	before := hit.Count() + miss.Count()
+	for i := 0; i < 10*distSampleEvery; i++ {
+		o.Dist(3, 3)
+	}
+	if got := hit.Count() + miss.Count(); got != before {
+		t.Fatalf("u==v lookups advanced the sampler: %d -> %d samples", before, got)
+	}
+}
+
+// TestSharedDistLatencySampling: every worker facade samples on its own
+// deterministic cadence, Shared.DistLatency merges all of them, and a
+// distance published by one facade is a sampled *hit* for the next — while
+// direct pooled Shared.Dist calls stay unsampled (their sampler state
+// would race).
+func TestSharedDistLatencySampling(t *testing.T) {
+	g := testGraph(t)
+	s := NewShared(func() sp.Oracle { return sp.NewBidirectional(g) }, g.N(), 1<<20, 1<<10, 0)
+	w1, w2 := s.NewWorker(), s.NewWorker()
+	pairs := distinctPairs(t, g, 2*distSampleEvery)
+
+	for _, p := range pairs {
+		w1.Dist(p[0], p[1]) // misses, computed on w1's engine
+	}
+	for _, p := range pairs {
+		w2.Dist(p[0], p[1]) // hits: w1 published to the shared cache
+	}
+	hit, miss := s.DistLatency()
+	if miss.Count() != 2 || hit.Count() != 2 {
+		t.Fatalf("merged samples hit=%d miss=%d, want 2/2", hit.Count(), miss.Count())
+	}
+
+	for i := 0; i < 4*distSampleEvery; i++ {
+		s.Dist(pairs[0][0], pairs[0][1])
+	}
+	hit, miss = s.DistLatency()
+	if hit.Count()+miss.Count() != 4 {
+		t.Fatalf("direct Shared.Dist calls were sampled: hit=%d miss=%d", hit.Count(), miss.Count())
+	}
+}

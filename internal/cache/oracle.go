@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sp"
 )
@@ -19,20 +20,22 @@ const (
 //
 // Not safe for concurrent use (neither are the wrapped engines).
 type Oracle struct {
-	inner sp.Oracle
-	n     uint64
-	dists *LRU[float64]
-	paths *LRU[[]roadnet.VertexID]
+	inner   sp.Oracle
+	n       uint64
+	dists   *LRU[float64]
+	paths   *LRU[[]roadnet.VertexID]
+	sampler *distSampler
 }
 
 // New returns a caching wrapper around inner for a graph with n vertices,
 // with the given cache capacities. Capacities below 1 are clamped to 1.
 func New(inner sp.Oracle, n int, distEntries, pathEntries int) *Oracle {
 	return &Oracle{
-		inner: inner,
-		n:     uint64(n),
-		dists: NewLRU[float64](distEntries),
-		paths: NewLRU[[]roadnet.VertexID](pathEntries),
+		inner:   inner,
+		n:       uint64(n),
+		dists:   NewLRU[float64](distEntries),
+		paths:   NewLRU[[]roadnet.VertexID](pathEntries),
+		sampler: newDistSampler(),
 	}
 }
 
@@ -51,8 +54,10 @@ func (o *Oracle) Dist(u, v roadnet.VertexID) float64 {
 	if u == v {
 		return 0
 	}
+	start := o.sampler.start()
 	k := o.key(u, v)
 	if d, ok := o.dists.Get(k); ok {
+		o.sampler.record(start, true)
 		return d
 	}
 	d := o.inner.Dist(u, v)
@@ -60,6 +65,7 @@ func (o *Oracle) Dist(u, v roadnet.VertexID) float64 {
 	// The graph is undirected; a shortest path cost is symmetric, so prime
 	// the reverse direction too.
 	o.dists.Put(o.key(v, u), d)
+	o.sampler.record(start, false)
 	return d
 }
 
@@ -99,3 +105,11 @@ func (o *Oracle) DistStats() (hits, misses uint64) { return o.dists.Stats() }
 
 // PathStats returns hit/miss counts of the path cache.
 func (o *Oracle) PathStats() (hits, misses uint64) { return o.paths.Stats() }
+
+// DistLatency returns the sampled distance-lookup latency distributions,
+// split by cache outcome (1 in distSampleEvery calls is timed). The
+// returned histograms are live — read them only while the oracle is
+// quiescent.
+func (o *Oracle) DistLatency() (hit, miss *obs.Histogram) {
+	return o.sampler.hit, o.sampler.miss
+}

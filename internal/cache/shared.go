@@ -3,6 +3,7 @@ package cache
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sp"
 )
@@ -82,26 +83,29 @@ func (s *Shared) key(u, v roadnet.VertexID) uint64 {
 // sharedDist is the one distance lookup path: consult the shared striped
 // cache, compute on the supplied engine on a miss, and publish the result
 // under both directions (the graph is undirected, so cost is symmetric).
-func (s *Shared) sharedDist(engine sp.Oracle, u, v roadnet.VertexID) float64 {
+// The second return reports whether the lookup was served from the cache
+// (u == v counts as a hit; it never reaches the cache).
+func (s *Shared) sharedDist(engine sp.Oracle, u, v roadnet.VertexID) (float64, bool) {
 	if u == v {
-		return 0
+		return 0, true
 	}
 	k := s.key(u, v)
 	if d, ok := s.dists.Get(k); ok {
-		return d
+		return d, true
 	}
 	d := engine.Dist(u, v)
 	s.dists.Put(k, d)
 	s.dists.Put(s.key(v, u), d)
-	return d
+	return d, false
 }
 
 // Dist returns the shortest-path cost from u to v, consulting the shared
 // distance cache first and computing misses on a pooled engine. Safe for
-// concurrent use.
+// concurrent use. Direct calls are not latency-sampled (sampler state is
+// single-writer); hot loops go through SharedWorker facades, which are.
 func (s *Shared) Dist(u, v roadnet.VertexID) float64 {
 	engine := s.pool.Get().(sp.Oracle)
-	d := s.sharedDist(engine, u, v)
+	d, _ := s.sharedDist(engine, u, v)
 	s.pool.Put(engine)
 	return d
 }
@@ -134,9 +138,10 @@ func (s *Shared) ConcurrencySafe() {}
 // private inner engine. Facades may be created concurrently.
 func (s *Shared) NewWorker() *SharedWorker {
 	w := &SharedWorker{
-		shared: s,
-		engine: s.newEngine(),
-		paths:  NewLRU[[]roadnet.VertexID](s.pathCap),
+		shared:  s,
+		engine:  s.newEngine(),
+		paths:   NewLRU[[]roadnet.VertexID](s.pathCap),
+		sampler: newDistSampler(),
 	}
 	s.mu.Lock()
 	s.workers = append(s.workers, w)
@@ -169,20 +174,40 @@ func (s *Shared) PathStats() (hits, misses uint64) {
 	return hits, misses
 }
 
+// DistLatency returns fresh histograms merging the sampled distance-lookup
+// latency of every worker facade, split by shared-cache outcome. Worker
+// samplers are single-threaded, so — like PathStats — call this only while
+// the workers are quiescent.
+func (s *Shared) DistLatency() (hit, miss *obs.Histogram) {
+	hit, miss = obs.NewHistogram(), obs.NewHistogram()
+	s.mu.Lock()
+	workers := s.workers
+	s.mu.Unlock()
+	for _, w := range workers {
+		hit.Merge(w.sampler.hit)
+		miss.Merge(w.sampler.miss)
+	}
+	return hit, miss
+}
+
 // SharedWorker is a per-goroutine facade over a Shared stack. It implements
 // sp.Oracle; like the plain engines it must not be shared across
 // goroutines (its inner engine and path cache are private and unlocked),
 // but all facades of one stack read and feed the same distance cache.
 type SharedWorker struct {
-	shared *Shared
-	engine sp.Oracle
-	paths  *LRU[[]roadnet.VertexID]
+	shared  *Shared
+	engine  sp.Oracle
+	paths   *LRU[[]roadnet.VertexID]
+	sampler *distSampler
 }
 
 // Dist returns the shortest-path cost from u to v via the shared distance
 // cache, computing misses on this worker's private engine.
 func (w *SharedWorker) Dist(u, v roadnet.VertexID) float64 {
-	return w.shared.sharedDist(w.engine, u, v)
+	start := w.sampler.start()
+	d, hit := w.shared.sharedDist(w.engine, u, v)
+	w.sampler.record(start, hit)
+	return d
 }
 
 // Path returns a shortest path from u to v via this worker's private path

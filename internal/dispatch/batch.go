@@ -3,6 +3,7 @@ package dispatch
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -93,6 +94,7 @@ func (e *Engine) Flush() {
 // the clean trials and get identical results — at fan-out parallelism,
 // and is therefore identical at every worker/shard count.
 func (e *Engine) flushAt(t float64) {
+	flushStart := time.Now()
 	batch := e.pending
 	e.pending = nil
 	if t < e.clock {
@@ -125,6 +127,7 @@ func (e *Engine) flushAt(t float64) {
 		p1[i] = make([]phase1, len(e.shards))
 		durs[i] = make([]time.Duration, len(e.shards))
 	}
+	phase1Start := time.Now()
 	e.parallel(func(s *shard) {
 		s.drainReportsUntil(&e.cfg, t)
 		for i, req := range batch {
@@ -133,6 +136,7 @@ func (e *Engine) flushAt(t float64) {
 			durs[i][s.id] = time.Since(started)
 		}
 	})
+	e.metrics.Phase1Latency.Record(time.Since(phase1Start).Nanoseconds())
 
 	// Phase 2: greedy arrival-order commits with incremental conflict
 	// repair.
@@ -142,6 +146,7 @@ func (e *Engine) flushAt(t float64) {
 	needy := make([]*shard, 0, len(e.shards)) // shards with dirty candidates (scratch)
 	for i, req := range batch {
 		e.metrics.Requests++
+		e.live.AddRequests(1)
 		// Per-request search latency, attributed the way immediate mode
 		// records it: the shards ran this request's phase-1 trials
 		// concurrently when a pool exists (wall ≈ the slowest shard) and
@@ -178,13 +183,18 @@ func (e *Engine) flushAt(t float64) {
 					best = fresh[s.id]
 				}
 			}
-			search += time.Since(retrial)
+			repairNs := time.Since(retrial)
+			search += repairNs
+			e.metrics.RepairLatency.Record(repairNs.Nanoseconds())
 			e.metrics.ConflictsRepaired++
+			e.live.AddConflicts(1)
 			e.metrics.RetrialTrialsSaved += trialed - dirtyCount
 		}
 		e.metrics.AddACRT(search)
 		if best.veh < 0 {
 			e.metrics.Rejected++
+			e.live.AddRejected(1)
+			e.ring.Emit(obs.KindRejected, req.ID, req.Time, -1)
 			e.assigned[req.ID] = -1
 			continue
 		}
@@ -192,7 +202,10 @@ func (e *Engine) flushAt(t float64) {
 		s.w.Commit(s.vehicle(best.veh), best.trial)
 		dirty[best.veh] = true
 		e.assigned[req.ID] = best.veh
+		e.ring.Emit(obs.KindMatched, req.ID, req.Time, int64(best.veh))
 	}
+	e.metrics.FlushLatency.Record(time.Since(flushStart).Nanoseconds())
+	e.live.AddFlushes(1)
 }
 
 // planRequest resolves one batch request against the flush's dirty set. It

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sp"
 	"repro/internal/spatial"
@@ -75,6 +76,8 @@ type Engine struct {
 	clock    float64
 	metrics  *sim.Metrics // request-level counters; shard metrics merge in
 	assigned map[int64]int
+	ring     *obs.Ring // engine-level lifecycle events (nil = tracing off)
+	live     *obs.Live // live counters (nil = off)
 
 	// Batch-window state (batch.go).
 	pending    []sim.Request
@@ -95,6 +98,8 @@ type shard struct {
 	vehicles []*sim.Vehicle // local slice; global ID = local*nshards + id
 	reports  reportQueue
 	cand     []spatial.ObjectID // scratch
+	ring     *obs.Ring          // per-shard trial events; single-writer because
+	// the pool runs at most one task per shard and fan-outs are serialized
 }
 
 // vehicle returns the shard's vehicle with the given global ID.
@@ -150,6 +155,8 @@ func New(cfg sim.Config, oracles OracleFactory) (*Engine, error) {
 		workers:  workers,
 		metrics:  sim.NewMetrics(),
 		assigned: make(map[int64]int),
+		ring:     cfg.Trace.Ring("engine"),
+		live:     cfg.Live,
 	}
 	minX, minY, maxX, maxY := cfg.Graph.Bounds()
 	for i := 0; i < nshards; i++ {
@@ -158,7 +165,9 @@ func New(cfg sim.Config, oracles OracleFactory) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.shards = append(e.shards, &shard{id: i, nshards: nshards, w: w, grid: grid})
+		ring := cfg.Trace.Ring(fmt.Sprintf("shard-%d", i))
+		w.SetTrace(ring, cfg.Live)
+		e.shards = append(e.shards, &shard{id: i, nshards: nshards, w: w, grid: grid, ring: ring})
 	}
 	// Identical seed-determined placement to sim.New: vehicle i lives on
 	// shard i mod nshards.
@@ -293,6 +302,7 @@ func (s *shard) trial(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps,
 			best = b
 		}
 	}
+	s.ring.Emit(obs.KindTrialed, req.ID, req.Time, int64(len(s.cand)))
 	return best
 }
 
@@ -328,6 +338,7 @@ func (s *shard) trialRetain(cfg *sim.Config, req sim.Request, px, py, waitMeters
 			feas = append(feas, vehTrial{veh: int(id), trial: tr})
 		}
 	}
+	s.ring.Emit(obs.KindTrialed, req.ID, req.Time, int64(len(s.cand)))
 	return phase1{feas: feas, trialed: s.w.Metrics().TrialCalls - before}
 }
 
@@ -388,6 +399,7 @@ func (e *Engine) Submit(req sim.Request) (matched bool, vehID int) {
 	}
 	e.clock = req.Time
 	e.metrics.Requests++
+	e.live.AddRequests(1)
 
 	waitMeters, eps := e.shards[0].w.Budget(req)
 	radius := e.shards[0].w.CandidateRadius(waitMeters)
@@ -403,11 +415,14 @@ func (e *Engine) Submit(req sim.Request) (matched bool, vehID int) {
 
 	if best.veh < 0 {
 		e.metrics.Rejected++
+		e.live.AddRejected(1)
+		e.ring.Emit(obs.KindRejected, req.ID, req.Time, -1)
 		e.assigned[req.ID] = -1
 		return false, -1
 	}
 	s := e.shards[ShardIndex(int64(best.veh), len(e.shards))]
 	s.w.Commit(s.vehicle(best.veh), best.trial)
+	e.ring.Emit(obs.KindMatched, req.ID, req.Time, int64(best.veh))
 	e.assigned[req.ID] = best.veh
 	return true, best.veh
 }
@@ -479,10 +494,10 @@ func (e *Engine) Drain() error {
 		})
 		e.drainErr = fmt.Errorf("dispatch: drain truncated after %d rounds (%.0f s): %d vehicles still busy", rounds, float64(rounds)*sim.DrainStep, stuck)
 	}
-	// Peak occupancy in global vehicle order, as the sequential path
-	// records it.
+	// Peak occupancy per vehicle; the histogram is order-insensitive, so
+	// visiting in global ID order matches the sequential path exactly.
 	e.eachVehicle(func(v *sim.Vehicle) {
-		e.metrics.PeakOccupancy = append(e.metrics.PeakOccupancy, v.PeakOnboard())
+		e.metrics.AddOccupancy(v.PeakOnboard())
 	})
 	return e.drainErr
 }
@@ -510,7 +525,36 @@ func (e *Engine) Metrics() *sim.Metrics {
 		out.Merge(s.w.Metrics())
 	}
 	out.SetCacheStats(e.cacheStats())
+	out.SetDistLatency(e.distLatency())
 	return out
+}
+
+// distLatency merges the sampled distance-lookup latency over the distinct
+// cache stacks behind the shard oracles, with the same dedup rules as
+// cacheStats (a cache.SharedWorker resolves to its fleet-wide stack, which
+// aggregates every facade). Quiescent-only, like cacheStats.
+func (e *Engine) distLatency() (hit, miss *obs.Histogram) {
+	hit, miss = obs.NewHistogram(), obs.NewHistogram()
+	seen := make(map[sim.CacheLatencyStatser]bool, len(e.shards))
+	for _, s := range e.shards {
+		o := s.w.Oracle()
+		var cls sim.CacheLatencyStatser
+		if w, ok := o.(*cache.SharedWorker); ok {
+			cls = w.Shared()
+		} else if c, ok := o.(sim.CacheLatencyStatser); ok {
+			cls = c
+		} else {
+			continue
+		}
+		if seen[cls] {
+			continue
+		}
+		seen[cls] = true
+		h, m := cls.DistLatency()
+		hit.Merge(h)
+		miss.Merge(m)
+	}
+	return hit, miss
 }
 
 // cacheStats sums hit/miss counters over the distinct cache stacks behind

@@ -1,10 +1,13 @@
 package dispatch
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
 	"repro/internal/sp"
@@ -89,15 +92,15 @@ func compareMetrics(t *testing.T, label string, seq, got *sim.Metrics) {
 	if seq.TreeNodesMax != got.TreeNodesMax {
 		t.Errorf("%s: TreeNodesMax %d vs %d", label, seq.TreeNodesMax, got.TreeNodesMax)
 	}
-	if len(seq.PeakOccupancy) != len(got.PeakOccupancy) {
-		t.Errorf("%s: occupancy length %d vs %d", label, len(seq.PeakOccupancy), len(got.PeakOccupancy))
-	} else {
-		for i := range seq.PeakOccupancy {
-			if seq.PeakOccupancy[i] != got.PeakOccupancy[i] {
-				t.Errorf("%s: vehicle %d peak occupancy %d vs %d", label, i, seq.PeakOccupancy[i], got.PeakOccupancy[i])
-				break
-			}
-		}
+	if !seq.Occupancy.Equal(got.Occupancy) {
+		t.Errorf("%s: occupancy distributions diverge: seq %v got %v",
+			label, seq.Occupancy, got.Occupancy)
+	}
+	// Match-latency values are wall times and differ across engines, but
+	// both record exactly one sample per request.
+	if seq.MatchLatency.Count() != got.MatchLatency.Count() {
+		t.Errorf("%s: match-latency sample counts diverge: seq %d got %d",
+			label, seq.MatchLatency.Count(), got.MatchLatency.Count())
 	}
 	for _, f := range []struct {
 		name     string
@@ -446,5 +449,108 @@ func TestShardsClampedToFleet(t *testing.T) {
 	}
 	if err := e.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBatchTracedEquivalence: the batch planner's instrumentation (stage
+// timers, live counters, matched/rejected trace events) records but never
+// branches, so a traced batch run must assign identically to the untraced
+// one — and the stage histograms must actually have been fed.
+func TestBatchTracedEquivalence(t *testing.T) {
+	g, factory, reqs := testWorld(t, 100)
+	run := func(tracer *obs.Tracer, live *obs.Live) (map[int64]int, *sim.Metrics) {
+		cfg := baseConfig(g, factory, sim.AlgoTreeSlack)
+		cfg.Workers = 4
+		cfg.Shards = 4
+		cfg.BatchWindow = 30
+		cfg.Trace = tracer
+		cfg.Live = live
+		e, err := New(cfg, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		m, err := e.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[int64]int, len(reqs))
+		for _, r := range reqs {
+			veh, ok := e.Assignment(r.ID)
+			if !ok {
+				t.Fatalf("request %d never dispatched", r.ID)
+			}
+			got[r.ID] = veh
+		}
+		return got, m
+	}
+
+	want, _ := run(nil, nil)
+	tracer := obs.NewTracer(1 << 16)
+	live := &obs.Live{}
+	got, m := run(tracer, live)
+	for id, veh := range want {
+		if got[id] != veh {
+			t.Fatalf("request %d assigned to %d traced, %d untraced", id, got[id], veh)
+		}
+	}
+
+	// Stage timers: one flush-latency and one phase-1 sample per flush, and
+	// per-flush phase-1 time can never exceed the whole flush's.
+	if m.FlushLatency.Count() == 0 {
+		t.Fatal("no flush-latency samples after a batch run")
+	}
+	if m.Phase1Latency.Count() != m.FlushLatency.Count() {
+		t.Fatalf("phase1 samples %d != flush samples %d",
+			m.Phase1Latency.Count(), m.FlushLatency.Count())
+	}
+	if m.Phase1Latency.Sum() > m.FlushLatency.Sum() {
+		t.Fatalf("phase-1 time %d ns exceeds total flush time %d ns",
+			m.Phase1Latency.Sum(), m.FlushLatency.Sum())
+	}
+	if uint64(m.ConflictsRepaired) != m.RepairLatency.Count() {
+		t.Fatalf("%d conflicts repaired but %d repair-latency samples",
+			m.ConflictsRepaired, m.RepairLatency.Count())
+	}
+
+	// Live counters match the final metrics.
+	snap := live.Snapshot()
+	if snap.Requests != int64(m.Requests) || snap.Matched != int64(m.Matched) ||
+		snap.Rejected != int64(m.Rejected) || snap.Conflicts != int64(m.ConflictsRepaired) {
+		t.Fatalf("live %+v diverges from metrics req=%d matched=%d rejected=%d conflicts=%d",
+			snap, m.Requests, m.Matched, m.Rejected, m.ConflictsRepaired)
+	}
+	if uint64(snap.Flushes) != m.FlushLatency.Count() {
+		t.Fatalf("live flushes %d != flush samples %d", snap.Flushes, m.FlushLatency.Count())
+	}
+
+	// The trace resolved every request exactly once.
+	events := 0
+	var buf bytes.Buffer
+	written, dropped, err := tracer.Drain(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("%d events dropped with oversized rings", dropped)
+	}
+	resolved := 0
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var ev struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		events++
+		if ev.Event == "matched" || ev.Event == "rejected" {
+			resolved++
+		}
+	}
+	if resolved != len(reqs) {
+		t.Fatalf("%d matched/rejected events, want %d", resolved, len(reqs))
+	}
+	if written != events {
+		t.Fatalf("written=%d but read %d lines", written, events)
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -98,6 +99,15 @@ type Config struct {
 	// ShedDeadline for requests without a per-request override
 	// (default 600, matching sim.Config).
 	WaitSeconds float64
+
+	// Trace, when non-nil, captures request lifecycle events (admitted,
+	// queued, released, shed) into per-producer and drainer ring buffers.
+	// Tracing changes no control flow: assignments stay bit-identical to
+	// an untraced run (TestIngressEquivalenceTraced).
+	Trace *obs.Tracer
+	// Live, when non-nil, receives atomically readable progress counters
+	// (admitted, shed, backlog) for mid-run observation.
+	Live *obs.Live
 }
 
 func (c Config) withDefaults() Config {
@@ -150,10 +160,12 @@ type Gateway struct {
 	producers []*Producer
 
 	// Drainer-owned state; touched only by Drain's goroutine.
-	heap          stampHeap
-	admitted      int
-	shedDeadline  atomic.Int64 // admission-side sheds come from producers
-	ingressWaitNs []int64
+	heap         stampHeap
+	admitted     int
+	shedDeadline atomic.Int64 // admission-side sheds come from producers
+	waitHist     *obs.Histogram // gateway residence wall time, ns
+	lagHist      *obs.Histogram // release lag in simulated ms, Now()-req.Time
+	drainRing    *obs.Ring      // release/shed lifecycle events (nil = off)
 }
 
 // New creates a gateway. The engine it will feed is not bound here; Drain
@@ -161,8 +173,11 @@ type Gateway struct {
 func New(cfg Config) *Gateway {
 	cfg = cfg.withDefaults()
 	g := &Gateway{
-		cfg:  cfg,
-		wake: make(chan struct{}, 1),
+		cfg:       cfg,
+		wake:      make(chan struct{}, 1),
+		waitHist:  obs.NewHistogram(),
+		lagHist:   obs.NewHistogram(),
+		drainRing: cfg.Trace.Ring("drain"),
 	}
 	for i := 0; i < cfg.Queues; i++ {
 		g.queues = append(g.queues, newQueue(cfg.Depth))
@@ -211,6 +226,7 @@ func (g *Gateway) Producers(n int) []*Producer {
 	out := make([]*Producer, n)
 	for i := range out {
 		p := &Producer{gw: g}
+		p.ring = g.cfg.Trace.Ring(fmt.Sprintf("producer-%d", len(g.producers)))
 		p.watermark.Store(math.Float64bits(math.Inf(-1)))
 		g.producers = append(g.producers, p)
 		out[i] = p
@@ -251,6 +267,7 @@ func (g *Gateway) nudge() {
 // Producer is one goroutine's submission handle.
 type Producer struct {
 	gw        *Gateway
+	ring      *obs.Ring     // this producer's lifecycle events (nil = off)
 	watermark atomic.Uint64 // float64 bits; monotone, single-writer
 	last      float64       // last submitted event time (clamp floor)
 	started   bool
@@ -289,19 +306,27 @@ func (p *Producer) Submit(req sim.Request) bool {
 	if g.cfg.Policy == ShedDeadline {
 		if lag := g.Now() - req.Time; lag > g.window(req) {
 			g.shedDeadline.Add(1)
+			g.cfg.Live.AddShedDeadline(1)
+			p.ring.Emit(obs.KindShed, req.ID, req.Time, obs.ShedReasonDeadlineAdmit)
 			g.nudge() // the watermark advanced; release may be unblocked
 			return false
 		}
 	}
 	s := stamped{req: req, seq: g.seq.Add(1), wall: time.Now()}
-	q := g.queues[dispatch.ShardIndex(req.ID, len(g.queues))]
+	p.ring.Emit(obs.KindAdmitted, req.ID, req.Time, int64(s.seq))
+	g.cfg.Live.AddAdmitted(1)
+	qi := dispatch.ShardIndex(req.ID, len(g.queues))
+	q := g.queues[qi]
 	// Nudge on both sides of the push: before, so a push that blocks on a
 	// full queue always has a drainer sweep pending to free it; after, so
 	// the enqueued request itself is noticed. Under ShedOldest the push
 	// makes room by evicting the queue head, so the submitted request
 	// itself is always admitted.
 	g.nudge()
-	q.push(s, g.cfg.Policy == ShedOldest)
+	if q.push(s, g.cfg.Policy == ShedOldest) {
+		g.cfg.Live.AddShedOverflow(1)
+	}
+	p.ring.Emit(obs.KindQueued, req.ID, req.Time, int64(qi))
 	g.nudge()
 	return true
 }
@@ -355,16 +380,21 @@ func (g *Gateway) Drain(sink func(sim.Request)) {
 			}
 			s := g.heap.pop()
 			released = true
-			if g.cfg.Policy == ShedDeadline {
-				if lag := g.Now() - s.req.Time; lag > g.window(s.req) {
-					g.shedDeadline.Add(1)
-					continue
-				}
+			lag := g.Now() - s.req.Time
+			if g.cfg.Policy == ShedDeadline && lag > g.window(s.req) {
+				g.shedDeadline.Add(1)
+				g.cfg.Live.AddShedDeadline(1)
+				g.drainRing.Emit(obs.KindShed, s.req.ID, s.req.Time, obs.ShedReasonDeadlineRelease)
+				continue
 			}
 			g.admitted++
-			g.ingressWaitNs = append(g.ingressWaitNs, time.Since(s.wall).Nanoseconds())
+			wait := time.Since(s.wall).Nanoseconds()
+			g.waitHist.Record(wait)
+			g.lagHist.Record(int64(lag * 1000)) // simulated seconds -> ms
+			g.drainRing.Emit(obs.KindReleased, s.req.ID, s.req.Time, wait)
 			sink(s.req)
 		}
+		g.cfg.Live.SetBacklog(int64(g.heap.Len()))
 		if math.IsInf(floor, 1) && g.heap.Len() == 0 && g.queuesEmpty() {
 			return
 		}
@@ -401,9 +431,8 @@ func (g *Gateway) MetricsInto(m *sim.Metrics) {
 		m.IngressQueuePeak = peak
 	}
 	m.ShedOverflow += overflow
-	for _, ns := range g.ingressWaitNs {
-		m.AddIngressWait(time.Duration(ns))
-	}
+	m.IngressWait.Merge(g.waitHist)
+	m.ReleaseLagMs.Merge(g.lagHist)
 }
 
 // Metrics returns a fresh sim.Metrics carrying only the gateway's ingress

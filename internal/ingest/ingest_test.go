@@ -1,6 +1,8 @@
 package ingest
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sync"
@@ -8,6 +10,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/dispatch"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
 	"repro/internal/sp"
@@ -509,3 +512,118 @@ func TestShardIndexKeying(t *testing.T) {
 // Compile-time check: the dispatch engine is a valid gateway sink on both
 // paths (Enqueue covers immediate and batch modes).
 var _ interface{ Enqueue(sim.Request) } = (*dispatch.Engine)(nil)
+
+// TestIngressEquivalenceTraced: lifecycle tracing and live counters record
+// but never branch, so a fully instrumented pipeline (traced gateway +
+// traced engine) must produce assignments bit-identical to the untraced
+// run at every producers × workers combination — and the trace must
+// actually contain the events it claims to capture.
+func TestIngressEquivalenceTraced(t *testing.T) {
+	g, factory, reqs := testWorld(t, 120)
+
+	// Untraced sequential baseline.
+	seq, err := sim.New(baseConfig(g, factory))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, len(reqs))
+	for i, r := range reqs {
+		matched, veh := seq.Submit(r)
+		if !matched {
+			veh = -1
+		}
+		want[i] = veh
+	}
+
+	for _, producers := range []int{1, 4} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("producers=%d/workers=%d", producers, workers)
+			t.Run(name, func(t *testing.T) {
+				tracer := obs.NewTracer(1 << 16) // hold every event: no drops
+				live := &obs.Live{}
+				cfg := baseConfig(g, factory)
+				cfg.Workers = workers
+				cfg.Shards = workers
+				cfg.Trace = tracer
+				cfg.Live = live
+				e, err := dispatch.New(cfg, factory)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer e.Close()
+
+				gw := New(Config{
+					Queues: e.Shards(), Depth: 8, Policy: Block,
+					Trace: tracer, Live: live,
+				})
+				go feed(gw, reqs, producers)
+				gw.Drain(func(r sim.Request) { e.Enqueue(r) })
+
+				for i, r := range reqs {
+					veh, ok := e.Assignment(r.ID)
+					if !ok {
+						t.Fatalf("request %d never dispatched", r.ID)
+					}
+					if veh != want[i] {
+						t.Fatalf("request %d assigned to %d, untraced sequential chose %d",
+							r.ID, veh, want[i])
+					}
+				}
+
+				// The trace must hold the full lifecycle: every request was
+				// admitted, queued, released, trialed, and resolved.
+				var buf bytes.Buffer
+				written, dropped, err := tracer.Drain(&buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dropped != 0 {
+					t.Fatalf("%d events dropped with oversized rings", dropped)
+				}
+				kinds := make(map[string]int)
+				for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+					var ev struct {
+						Event string `json:"event"`
+					}
+					if err := json.Unmarshal(line, &ev); err != nil {
+						t.Fatalf("bad trace line %q: %v", line, err)
+					}
+					kinds[ev.Event]++
+				}
+				for _, k := range []string{"admitted", "queued", "released"} {
+					if kinds[k] != len(reqs) {
+						t.Fatalf("%d %q events, want %d (kinds: %v)", kinds[k], k, len(reqs), kinds)
+					}
+				}
+				// Every shard emits one fan-out trial event per request.
+				if kinds["trialed"] != len(reqs)*workers {
+					t.Fatalf("%d \"trialed\" events, want %d (one per shard per request)",
+						kinds["trialed"], len(reqs)*workers)
+				}
+				if kinds["matched"]+kinds["rejected"] != len(reqs) {
+					t.Fatalf("matched+rejected = %d, want %d", kinds["matched"]+kinds["rejected"], len(reqs))
+				}
+				if written != sum(kinds) {
+					t.Fatalf("written=%d but counted %d", written, sum(kinds))
+				}
+
+				// Live counters must agree with the ground truth.
+				snap := live.Snapshot()
+				if snap.Admitted != int64(len(reqs)) || snap.Requests != int64(len(reqs)) {
+					t.Fatalf("live admitted=%d requests=%d, want %d", snap.Admitted, snap.Requests, len(reqs))
+				}
+				if int(snap.Matched) != kinds["matched"] || int(snap.Rejected) != kinds["rejected"] {
+					t.Fatalf("live matched=%d rejected=%d, trace says %d/%d",
+						snap.Matched, snap.Rejected, kinds["matched"], kinds["rejected"])
+				}
+			})
+		}
+	}
+}
+
+func sum(m map[string]int) (n int) {
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

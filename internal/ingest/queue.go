@@ -27,8 +27,9 @@ func newQueue(depth int) *queue {
 
 // push enqueues s. When the ring is full: with shedOldest it evicts the
 // oldest entry (FIFO head, counted as overflow) to make room; otherwise it
-// blocks until the drainer frees space.
-func (q *queue) push(s stamped, shedOldest bool) {
+// blocks until the drainer frees space. It reports whether an eviction
+// happened.
+func (q *queue) push(s stamped, shedOldest bool) (evicted bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.n == len(q.buf) {
@@ -37,6 +38,7 @@ func (q *queue) push(s stamped, shedOldest bool) {
 			q.head = (q.head + 1) % len(q.buf)
 			q.n--
 			q.overflow++
+			evicted = true
 			break
 		}
 		q.notFull.Wait()
@@ -46,6 +48,7 @@ func (q *queue) push(s stamped, shedOldest bool) {
 	if q.n > q.peak {
 		q.peak = q.n
 	}
+	return evicted
 }
 
 // drainInto moves every queued entry into the drainer's heap and frees any

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// BenchResult is the machine-readable record a benchmark emits as
+// BENCH_<name>.json — the unit the ROADMAP's perf trajectory accumulates.
+// Metrics holds the benchmark's own numbers (req/s, p99 latency, hit
+// rates, ...) keyed by metric name; the envelope pins enough environment
+// (Go version, GOMAXPROCS, CPU count, git SHA) to compare runs across
+// commits and machines.
+type BenchResult struct {
+	Name       string             `json:"name"`
+	UnixSec    int64              `json:"unix_sec"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	GitSHA     string             `json:"git_sha"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// NewBenchResult builds a result envelope for the named benchmark with
+// the environment fields filled in.
+func NewBenchResult(name string) *BenchResult {
+	return &BenchResult{
+		Name:       name,
+		UnixSec:    time.Now().Unix(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GitSHA:     gitSHA(),
+		Metrics:    map[string]float64{},
+	}
+}
+
+// gitSHA resolves the commit under test: CI exports it (GITHUB_SHA, or
+// BENCH_GIT_SHA as an explicit override), otherwise ask git, otherwise
+// "unknown".
+func gitSHA() string {
+	for _, k := range []string{"BENCH_GIT_SHA", "GITHUB_SHA"} {
+		if v := os.Getenv(k); v != "" {
+			return v
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// BenchDir returns the directory benchmark JSON should be written to, or
+// "" when emission is disabled. Gated on the BENCH_JSON_DIR environment
+// variable so a plain `go test -bench` stays side-effect free; CI sets it.
+func BenchDir() string { return os.Getenv("BENCH_JSON_DIR") }
+
+// WriteBench serializes r to <dir>/BENCH_<name>.json. Callers typically
+// pass BenchDir() and skip the call when it is empty.
+func WriteBench(dir string, r *BenchResult) error {
+	if r.Name == "" {
+		return fmt.Errorf("obs: bench result has no name")
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+r.Name+".json"), b, 0o644)
+}
+
+// ValidateBench parses and schema-checks one BENCH_*.json payload,
+// returning the result when it is well-formed. CI's benchmark smoke step
+// runs this (via cmd/benchcheck) over every emitted file.
+func ValidateBench(data []byte) (*BenchResult, error) {
+	var r BenchResult
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("obs: bench json: %w", err)
+	}
+	switch {
+	case r.Name == "":
+		return nil, fmt.Errorf("obs: bench json: missing name")
+	case r.UnixSec <= 0:
+		return nil, fmt.Errorf("obs: bench json: missing unix_sec")
+	case r.GoVersion == "":
+		return nil, fmt.Errorf("obs: bench json: missing go_version")
+	case r.GOMAXPROCS <= 0:
+		return nil, fmt.Errorf("obs: bench json: missing gomaxprocs")
+	case r.NumCPU <= 0:
+		return nil, fmt.Errorf("obs: bench json: missing num_cpu")
+	case r.GitSHA == "":
+		return nil, fmt.Errorf("obs: bench json: missing git_sha")
+	case len(r.Metrics) == 0:
+		return nil, fmt.Errorf("obs: bench json: empty metrics")
+	}
+	for k, v := range r.Metrics {
+		if v != v || v < 0 {
+			return nil, fmt.Errorf("obs: bench json: metric %q is %v", k, v)
+		}
+	}
+	return &r, nil
+}

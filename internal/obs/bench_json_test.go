@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchResultRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := NewBenchResult("dispatch_throughput")
+	r.Metrics["req_per_sec"] = 1234.5
+	r.Metrics["p99_match_ns"] = 42000
+	if err := WriteBench(dir, r); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_dispatch_throughput.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateBench(data)
+	if err != nil {
+		t.Fatalf("emitted file fails its own validation: %v", err)
+	}
+	if got.Name != r.Name || got.GOMAXPROCS != r.GOMAXPROCS || got.GoVersion != r.GoVersion {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, r)
+	}
+	if got.Metrics["req_per_sec"] != 1234.5 {
+		t.Fatalf("metrics lost in round trip: %v", got.Metrics)
+	}
+	if got.GitSHA == "" {
+		t.Fatal("git sha empty after round trip")
+	}
+}
+
+func TestValidateBenchRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{`,
+		"missing name":   `{"unix_sec":1,"go_version":"go","gomaxprocs":1,"num_cpu":1,"git_sha":"x","metrics":{"a":1}}`,
+		"missing sha":    `{"name":"n","unix_sec":1,"go_version":"go","gomaxprocs":1,"num_cpu":1,"git_sha":"","metrics":{"a":1}}`,
+		"empty metrics":  `{"name":"n","unix_sec":1,"go_version":"go","gomaxprocs":1,"num_cpu":1,"git_sha":"x","metrics":{}}`,
+		"negative value": `{"name":"n","unix_sec":1,"go_version":"go","gomaxprocs":1,"num_cpu":1,"git_sha":"x","metrics":{"a":-1}}`,
+		"unknown field":  `{"name":"n","unix_sec":1,"go_version":"go","gomaxprocs":1,"num_cpu":1,"git_sha":"x","metrics":{"a":1},"extra":true}`,
+		"zero procs":     `{"name":"n","unix_sec":1,"go_version":"go","gomaxprocs":0,"num_cpu":1,"git_sha":"x","metrics":{"a":1}}`,
+	}
+	for name, payload := range cases {
+		if _, err := ValidateBench([]byte(payload)); err == nil {
+			t.Errorf("%s: validation unexpectedly passed", name)
+		}
+	}
+}
+
+func TestBenchDirGatesOnEnv(t *testing.T) {
+	t.Setenv("BENCH_JSON_DIR", "")
+	if BenchDir() != "" {
+		t.Fatal("BenchDir should be empty when env unset")
+	}
+	t.Setenv("BENCH_JSON_DIR", "/tmp/bench")
+	if BenchDir() != "/tmp/bench" {
+		t.Fatal("BenchDir should reflect the env var")
+	}
+}

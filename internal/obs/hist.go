@@ -1,0 +1,318 @@
+// Package obs is the pipeline's observability layer: memory-bounded
+// streaming statistics and request lifecycle tracing cheap enough to leave
+// threaded through the hot path, plus live reporting (interval snapshots,
+// an expvar-style /metrics + pprof HTTP endpoint) for watching a run while
+// it happens instead of after.
+//
+// The paper's evaluation judges the matcher by response-time distributions
+// (ACRT/ART, §VI), and the real-time matchers in the related work are
+// judged on live operational percentiles — Simonetto et al. report
+// per-batch solve-time and waiting-time distributions over the run, Yao &
+// Bekhor profile matching cost as the fleet scales. This package supplies
+// the substrate: Histogram replaces grow-forever sample slices with fixed
+// 4 KB counter arrays, Tracer stamps per-request lifecycle events into
+// single-writer ring buffers, Live carries atomically readable progress
+// counters for concurrent readers, and Reporter/Serve expose both while
+// the pipeline runs.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Log-linear bucket layout (HDR-histogram style): subCount sub-buckets per
+// power of two, so every bucket's width is at most lo/subCount — a bounded
+// relative error of 1/subCount = 12.5% — while the whole range of int64
+// fits in a fixed array of numBuckets counters. Values below 2*subCount
+// (i.e. < 16) land in width-1 buckets and are recorded exactly, which
+// makes the histogram lossless for small counts such as per-vehicle
+// occupancy.
+const (
+	subBits    = 3
+	subCount   = 1 << subBits // 8 sub-buckets per octave
+	numBuckets = (63-subBits)*subCount + 2*subCount
+)
+
+// Histogram is a streaming log-bucketed histogram over nonnegative int64
+// values (negative values are clamped to 0). It retains no samples: memory
+// is a fixed array of bucket counters, so recording is O(1), merging is
+// O(numBuckets), and quantile queries walk the buckets once — the
+// replacement for the O(n) sample slices and O(n log n) sort-per-quantile
+// the metrics used to pay at city scale.
+//
+// Accuracy: min, max, count, and sum (hence the mean) are exact; a
+// quantile is reported as the midpoint of the bucket holding the exact
+// sample quantile, so its relative error is bounded by the bucket width —
+// at most 12.5% (1/subCount), and zero for values below 16, which occupy
+// exact width-1 buckets.
+//
+// Units are the caller's (the pipeline records nanoseconds for latencies,
+// milliseconds for simulated-time lags, raw counts for occupancy).
+//
+// A Histogram is not safe for concurrent use; like the rest of
+// sim.Metrics, each goroutine records into its own and the owners merge.
+// Read-only methods tolerate a nil receiver (they report an empty
+// distribution), so holders of optional histograms can query without
+// nil checks.
+type Histogram struct {
+	counts [numBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a nonnegative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 2*subCount {
+		return int(v) // exact width-1 buckets for 0..15
+	}
+	e := bits.Len64(uint64(v)) - 1
+	return (e-subBits)*subCount + int(v>>uint(e-subBits))
+}
+
+// bucketBounds returns the inclusive lower bound and width of bucket idx.
+func bucketBounds(idx int) (lo, width int64) {
+	if idx < 2*subCount {
+		return int64(idx), 1
+	}
+	scale := uint(idx/subCount - 1)
+	return int64(subCount+idx%subCount) << scale, 1 << scale
+}
+
+// bucketRep is the value a bucket reports for the samples it holds: its
+// midpoint (exact for width-1 buckets).
+func bucketRep(idx int) int64 {
+	lo, width := bucketBounds(idx)
+	return lo + width/2
+}
+
+// Record adds one sample. Negative values clamp to 0.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the exact sum of all recorded samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the exact mean (integer division), or 0 when empty.
+func (h *Histogram) Mean() int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / int64(h.count)
+}
+
+// Min returns the exact smallest sample, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact largest sample, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) under the same rank
+// convention the metrics used on raw samples: the ceil(q*n)-th smallest
+// sample. The result is the holding bucket's midpoint clamped to
+// [Min, Max], so Quantile(1) is the exact maximum and small values
+// (< 16) are exact.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= rank {
+			v := bucketRep(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// TopMean returns the mean of the k largest recorded samples, each
+// reported as its bucket's midpoint clamped to [Min, Max] — the same
+// bucket-width error bound as Quantile. k clamps to Count; empty
+// histograms (and k == 0) report 0.
+func (h *Histogram) TopMean(k uint64) float64 {
+	if h == nil || h.count == 0 || k == 0 {
+		return 0
+	}
+	if k > h.count {
+		k = h.count
+	}
+	need := k
+	var sum float64
+	for i := numBuckets - 1; i >= 0 && need > 0; i-- {
+		c := h.counts[i]
+		if c == 0 {
+			continue
+		}
+		take := c
+		if take > need {
+			take = need
+		}
+		v := bucketRep(i)
+		if v > h.max {
+			v = h.max
+		}
+		if v < h.min {
+			v = h.min
+		}
+		sum += float64(v) * float64(take)
+		need -= take
+	}
+	return sum / float64(k)
+}
+
+// Merge folds o into h: bucket counters add, extremes combine. Merging is
+// commutative and associative, and merging per-shard histograms is exactly
+// equivalent to recording every shard's samples into one histogram.
+// A nil o is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// CopyFrom makes h an exact copy of o (empty when o is nil). Used by
+// set-not-add stat paths that must stay idempotent on re-read.
+func (h *Histogram) CopyFrom(o *Histogram) {
+	if o == nil {
+		*h = Histogram{}
+		return
+	}
+	*h = *o
+}
+
+// Clone returns an independent copy (nil-safe, returning an empty
+// histogram).
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{}
+	c.CopyFrom(h)
+	return c
+}
+
+// Equal reports whether two histograms hold identical distributions
+// (identical bucket counts and extremes). Nil receivers compare as empty.
+func (h *Histogram) Equal(o *Histogram) bool {
+	if h.Count() != o.Count() {
+		return false
+	}
+	if h.Count() == 0 {
+		return true
+	}
+	if h.min != o.min || h.max != o.max || h.sum != o.sum {
+		return false
+	}
+	return h.counts == o.counts
+}
+
+// Summary is the JSON-serializable digest of a histogram: the quantiles
+// the paper-style evaluation reports, without retaining samples.
+type Summary struct {
+	Count uint64 `json:"count"`
+	Mean  int64  `json:"mean"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P99   int64  `json:"p99"`
+	Max   int64  `json:"max"`
+}
+
+// Summary digests the histogram (nil-safe: an empty summary).
+func (h *Histogram) Summary() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the digest, for log lines.
+func (h *Histogram) String() string {
+	s := h.Summary()
+	return fmt.Sprintf("n=%d mean=%d p50=%d p90=%d p99=%d max=%d",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
+// BucketError returns the maximum absolute error the histogram may report
+// for a quantile whose exact value is v — half the width of v's bucket
+// (0 for the exact small-value range). Tests use it to bound reported
+// quantiles against exact sample quantiles.
+func BucketError(v int64) int64 {
+	if v < 0 {
+		v = 0
+	}
+	_, width := bucketBounds(bucketIndex(v))
+	return width / 2
+}

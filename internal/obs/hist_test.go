@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile mirrors the metrics' historical rank convention on raw
+// samples: the ceil(q*n)-th smallest.
+func exactQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	h := NewHistogram()
+	var vals []int64
+	for v := int64(0); v < 16; v++ {
+		for i := int64(0); i <= v; i++ { // v+1 copies of v
+			h.Record(v)
+			vals = append(vals, v)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if h.Count() != uint64(len(vals)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Min() != 0 || h.Max() != 15 {
+		t.Fatalf("min/max = %d/%d, want 0/15", h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		want := exactQuantile(vals, q)
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %d, want exact %d (small values are lossless)", q, got, want)
+		}
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if h.Sum() != sum || h.Mean() != sum/int64(len(vals)) {
+		t.Fatalf("sum/mean = %d/%d, want %d/%d", h.Sum(), h.Mean(), sum, sum/int64(len(vals)))
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("negative record not clamped: %s", h)
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	for name, h := range map[string]*Histogram{"nil": nilH, "empty": NewHistogram()} {
+		if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+			t.Errorf("%s histogram not all-zero", name)
+		}
+		if h.Quantile(0.99) != 0 {
+			t.Errorf("%s histogram quantile != 0", name)
+		}
+		if s := h.Summary(); s != (Summary{}) {
+			t.Errorf("%s summary = %+v, want zero", name, s)
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracy is the documented-accuracy property test:
+// across seeds and several value distributions, every reported quantile
+// must land within BucketError (half the holding bucket's width, i.e. the
+// 12.5% relative-error bound) of the exact sample quantile.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	quantiles := []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	distributions := map[string]func(r *rand.Rand) int64{
+		"uniform-small": func(r *rand.Rand) int64 { return r.Int63n(100) },
+		"uniform-wide":  func(r *rand.Rand) int64 { return r.Int63n(10_000_000_000) },
+		"exponential":   func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 5e6) },
+		"lognormal":     func(r *rand.Rand) int64 { return int64(math.Exp(r.NormFloat64()*2 + 10)) },
+		"heavy-tail": func(r *rand.Rand) int64 {
+			if r.Intn(100) == 0 {
+				return r.Int63n(1 << 40)
+			}
+			return r.Int63n(1000)
+		},
+	}
+	for name, gen := range distributions {
+		for seed := int64(1); seed <= 8; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			h := NewHistogram()
+			n := 1000 + r.Intn(4000)
+			vals := make([]int64, n)
+			for i := range vals {
+				v := gen(r)
+				vals[i] = v
+				h.Record(v)
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			for _, q := range quantiles {
+				want := exactQuantile(vals, q)
+				got := h.Quantile(q)
+				if tol := BucketError(want); got < want-tol || got > want+tol {
+					t.Errorf("%s seed=%d n=%d: Quantile(%g) = %d, exact %d, tolerance ±%d",
+						name, seed, n, q, got, want, tol)
+				}
+			}
+			if h.Min() != vals[0] || h.Max() != vals[n-1] {
+				t.Errorf("%s seed=%d: min/max = %d/%d, want exact %d/%d",
+					name, seed, h.Min(), h.Max(), vals[0], vals[n-1])
+			}
+		}
+	}
+}
+
+// TestHistogramMergeIsUnion checks the merge law the sharded metrics rely
+// on: merging per-shard histograms is identical to recording the union of
+// their samples, for any split, and merge is commutative.
+func TestHistogramMergeIsUnion(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		whole := NewHistogram()
+		parts := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+		for i := 0; i < 3000; i++ {
+			v := int64(r.ExpFloat64() * 1e6)
+			whole.Record(v)
+			parts[r.Intn(len(parts))].Record(v)
+		}
+		ab := parts[0].Clone()
+		ab.Merge(parts[1])
+		ab.Merge(parts[2])
+		if !ab.Equal(whole) {
+			t.Fatalf("seed %d: merged parts != whole: %s vs %s", seed, ab, whole)
+		}
+		ba := parts[2].Clone()
+		ba.Merge(parts[0])
+		ba.Merge(parts[1])
+		if !ba.Equal(ab) {
+			t.Fatalf("seed %d: merge is not commutative", seed)
+		}
+		// Merging an empty or nil histogram changes nothing.
+		ab.Merge(NewHistogram())
+		ab.Merge(nil)
+		if !ab.Equal(whole) {
+			t.Fatalf("seed %d: empty/nil merge changed the histogram", seed)
+		}
+	}
+}
+
+func TestHistogramCloneAndCopyFrom(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{3, 17, 200, 1 << 30} {
+		h.Record(v)
+	}
+	c := h.Clone()
+	if !c.Equal(h) {
+		t.Fatal("clone differs from original")
+	}
+	c.Record(99)
+	if c.Equal(h) {
+		t.Fatal("clone shares state with original")
+	}
+	c.CopyFrom(h)
+	if !c.Equal(h) {
+		t.Fatal("CopyFrom did not restore equality")
+	}
+	c.CopyFrom(nil)
+	if c.Count() != 0 {
+		t.Fatal("CopyFrom(nil) should empty the histogram")
+	}
+}
+
+func TestBucketErrorBound(t *testing.T) {
+	for v := int64(0); v < 16; v++ {
+		if BucketError(v) != 0 {
+			t.Fatalf("BucketError(%d) = %d, want 0 (exact range)", v, BucketError(v))
+		}
+	}
+	// Relative error bound: half-width / value <= 1/(2*subCount)... the
+	// documented bound is width/lo <= 1/subCount = 12.5%.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		v := int64(16) + r.Int63n(1<<50)
+		lo, width := bucketBounds(bucketIndex(v))
+		if v < lo || v >= lo+width {
+			t.Fatalf("value %d outside its bucket [%d, %d)", v, lo, lo+width)
+		}
+		if float64(width) > float64(lo)/float64(subCount)+1e-9 {
+			t.Fatalf("bucket width %d exceeds 12.5%% of lo %d", width, lo)
+		}
+	}
+}
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 100, 1 << 20, 1<<62 + 12345} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, idx, numBuckets)
+		}
+		prev = idx
+	}
+}

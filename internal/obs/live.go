@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Live is the set of pipeline progress counters that may be read while the
+// engines are running. Everything else in the metrics stack (histograms,
+// sim.Metrics) is single-writer and only safe to read at quiescence; Live
+// is the deliberately small atomic surface the interval reporter and the
+// /metrics endpoint poll mid-run. All fields are updated with atomic adds
+// by whichever goroutine owns the event and read with atomic loads.
+//
+// A nil *Live is the disabled state: every Add/Set is a no-op, so the
+// pipeline threads the handle unconditionally.
+type Live struct {
+	Requests     atomic.Int64 // requests submitted to an engine
+	Matched      atomic.Int64 // requests assigned a vehicle
+	Rejected     atomic.Int64 // requests no vehicle could serve
+	Admitted     atomic.Int64 // requests stamped into the gateway order
+	ShedOverflow atomic.Int64 // requests shed for queue overflow
+	ShedDeadline atomic.Int64 // requests shed for blown service windows
+	Completed    atomic.Int64 // trips dropped off
+	Flushes      atomic.Int64 // batch windows flushed
+	Conflicts    atomic.Int64 // batch conflicts repaired
+	Backlog      atomic.Int64 // requests currently resident in gateway queues
+}
+
+// AddRequests increments the submitted-requests counter (nil-safe).
+func (l *Live) AddRequests(n int64) {
+	if l != nil {
+		l.Requests.Add(n)
+	}
+}
+
+// AddMatched increments the matched counter (nil-safe).
+func (l *Live) AddMatched(n int64) {
+	if l != nil {
+		l.Matched.Add(n)
+	}
+}
+
+// AddRejected increments the rejected counter (nil-safe).
+func (l *Live) AddRejected(n int64) {
+	if l != nil {
+		l.Rejected.Add(n)
+	}
+}
+
+// AddAdmitted increments the admitted counter (nil-safe).
+func (l *Live) AddAdmitted(n int64) {
+	if l != nil {
+		l.Admitted.Add(n)
+	}
+}
+
+// AddShedOverflow increments the overflow-shed counter (nil-safe).
+func (l *Live) AddShedOverflow(n int64) {
+	if l != nil {
+		l.ShedOverflow.Add(n)
+	}
+}
+
+// AddShedDeadline increments the deadline-shed counter (nil-safe).
+func (l *Live) AddShedDeadline(n int64) {
+	if l != nil {
+		l.ShedDeadline.Add(n)
+	}
+}
+
+// AddCompleted increments the completed-trips counter (nil-safe).
+func (l *Live) AddCompleted(n int64) {
+	if l != nil {
+		l.Completed.Add(n)
+	}
+}
+
+// AddFlushes increments the flushed-windows counter (nil-safe).
+func (l *Live) AddFlushes(n int64) {
+	if l != nil {
+		l.Flushes.Add(n)
+	}
+}
+
+// AddConflicts increments the repaired-conflicts counter (nil-safe).
+func (l *Live) AddConflicts(n int64) {
+	if l != nil {
+		l.Conflicts.Add(n)
+	}
+}
+
+// SetBacklog records the current gateway queue residency (nil-safe).
+func (l *Live) SetBacklog(n int64) {
+	if l != nil {
+		l.Backlog.Store(n)
+	}
+}
+
+// LiveSnapshot is one consistent-enough read of the counters (each field
+// individually atomic).
+type LiveSnapshot struct {
+	Requests     int64 `json:"requests"`
+	Matched      int64 `json:"matched"`
+	Rejected     int64 `json:"rejected"`
+	Admitted     int64 `json:"admitted"`
+	ShedOverflow int64 `json:"shed_overflow"`
+	ShedDeadline int64 `json:"shed_deadline"`
+	Completed    int64 `json:"completed"`
+	Flushes      int64 `json:"flushes"`
+	Conflicts    int64 `json:"conflicts"`
+	Backlog      int64 `json:"backlog"`
+}
+
+// Snapshot reads every counter (nil-safe: all zeros).
+func (l *Live) Snapshot() LiveSnapshot {
+	if l == nil {
+		return LiveSnapshot{}
+	}
+	return LiveSnapshot{
+		Requests:     l.Requests.Load(),
+		Matched:      l.Matched.Load(),
+		Rejected:     l.Rejected.Load(),
+		Admitted:     l.Admitted.Load(),
+		ShedOverflow: l.ShedOverflow.Load(),
+		ShedDeadline: l.ShedDeadline.Load(),
+		Completed:    l.Completed.Load(),
+		Flushes:      l.Flushes.Load(),
+		Conflicts:    l.Conflicts.Load(),
+		Backlog:      l.Backlog.Load(),
+	}
+}
+
+// Reporter periodically writes an interval snapshot as one JSON line. The
+// snap callback supplies the payload (typically a LiveSnapshot, or any
+// richer JSON-serializable view); each line is wrapped with a wall-clock
+// offset so consumers can plot trajectories.
+type Reporter struct {
+	w        io.Writer
+	interval time.Duration
+	snap     func() any
+	start    time.Time
+
+	mu   sync.Mutex // serializes writes (ticker goroutine vs final Stop flush)
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// reportLine is the envelope around each interval snapshot.
+type reportLine struct {
+	ElapsedMs int64 `json:"elapsed_ms"`
+	Stats     any   `json:"stats"`
+}
+
+// NewReporter starts a goroutine that writes snap() to w every interval.
+// Stop it with Stop, which writes one final line.
+func NewReporter(w io.Writer, interval time.Duration, snap func() any) *Reporter {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	r := &Reporter{
+		w:        w,
+		interval: interval,
+		snap:     snap,
+		start:    time.Now(),
+		done:     make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+func (r *Reporter) loop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.emit()
+		case <-r.done:
+			return
+		}
+	}
+}
+
+func (r *Reporter) emit() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	line := reportLine{ElapsedMs: time.Since(r.start).Milliseconds(), Stats: r.snap()}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	r.w.Write(b)
+}
+
+// Stop halts the interval goroutine and writes one final snapshot line.
+// Nil-safe and idempotent-enough for single use.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	close(r.done)
+	r.wg.Wait()
+	r.emit()
+}
+
+// Server is the live observability HTTP endpoint: /metrics serves the
+// metrics callback as JSON, and /debug/pprof/* serves the runtime
+// profiles. It binds a private mux so enabling it never touches
+// http.DefaultServeMux.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. "localhost:6060";
+// ":0" picks a free port — read it back with Addr). The metrics callback
+// is invoked per /metrics request and must be safe for concurrent use —
+// hand it atomics (Live.Snapshot), not quiescent-only state.
+func Serve(addr string, metrics func() any) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(metrics())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

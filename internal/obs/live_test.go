@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLiveNilSafe(t *testing.T) {
+	var l *Live
+	l.AddRequests(1)
+	l.AddMatched(1)
+	l.AddRejected(1)
+	l.AddAdmitted(1)
+	l.AddShedOverflow(1)
+	l.AddShedDeadline(1)
+	l.AddCompleted(1)
+	l.AddFlushes(1)
+	l.AddConflicts(1)
+	l.SetBacklog(5)
+	if s := l.Snapshot(); s != (LiveSnapshot{}) {
+		t.Fatalf("nil Live snapshot = %+v, want zero", s)
+	}
+}
+
+func TestLiveCountersConcurrent(t *testing.T) {
+	l := &Live{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.AddRequests(1)
+				l.AddMatched(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := l.Snapshot()
+	if s.Requests != 8000 || s.Matched != 8000 {
+		t.Fatalf("snapshot = %+v, want 8000 requests/matched", s)
+	}
+}
+
+// syncBuffer guards a bytes.Buffer: the reporter goroutine writes while
+// the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestReporterEmitsIntervalLines(t *testing.T) {
+	l := &Live{}
+	l.AddRequests(7)
+	var buf syncBuffer
+	r := NewReporter(&buf, 10*time.Millisecond, func() any { return l.Snapshot() })
+	time.Sleep(35 * time.Millisecond)
+	r.Stop()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 { // a few ticks plus the final Stop line
+		t.Fatalf("got %d report lines, want >= 2", len(lines))
+	}
+	for _, line := range lines {
+		var rl struct {
+			ElapsedMs int64        `json:"elapsed_ms"`
+			Stats     LiveSnapshot `json:"stats"`
+		}
+		if err := json.Unmarshal([]byte(line), &rl); err != nil {
+			t.Fatalf("report line %q is not JSON: %v", line, err)
+		}
+		if rl.Stats.Requests != 7 {
+			t.Fatalf("report line carries requests=%d, want 7", rl.Stats.Requests)
+		}
+	}
+	var nilR *Reporter
+	nilR.Stop() // must not panic
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	l := &Live{}
+	l.AddMatched(3)
+	s, err := Serve("127.0.0.1:0", func() any { return l.Snapshot() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	var snap LiveSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics body is not JSON: %v\n%s", err, body)
+	}
+	if snap.Matched != 3 {
+		t.Fatalf("/metrics matched = %d, want 3", snap.Matched)
+	}
+
+	resp, err = http.Get("http://" + s.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind is a request lifecycle event type. The vocabulary follows a request
+// through the pipeline: generated (left the workload source) → admitted
+// (stamped into the gateway's total order) → queued (entered its shard
+// admission queue) → released (handed from the gateway to the engine) →
+// trialed (a shard ran its trial insertions) → matched / rejected / shed →
+// completed (dropped off).
+type Kind uint8
+
+// Lifecycle event kinds. Arg carries the kind-specific detail noted per
+// kind.
+const (
+	KindGenerated Kind = iota // Arg: 0
+	KindAdmitted              // Arg: admission Lamport tick
+	KindQueued                // Arg: admission queue index
+	KindReleased              // Arg: gateway residence wall time, ns
+	KindTrialed               // Arg: candidate vehicles trialed by this shard
+	KindMatched               // Arg: winning vehicle ID
+	KindRejected              // Arg: -1
+	KindShed                  // Arg: shed reason (ShedReason* constants)
+	KindCompleted             // Arg: serving vehicle ID
+)
+
+// Shed reasons carried in a KindShed event's Arg.
+const (
+	ShedReasonDeadlineAdmit   = 1 // window blown at admission
+	ShedReasonDeadlineRelease = 2 // window blown while queued, caught at release
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGenerated:
+		return "generated"
+	case KindAdmitted:
+		return "admitted"
+	case KindQueued:
+		return "queued"
+	case KindReleased:
+		return "released"
+	case KindTrialed:
+		return "trialed"
+	case KindMatched:
+		return "matched"
+	case KindRejected:
+		return "rejected"
+	case KindShed:
+		return "shed"
+	case KindCompleted:
+		return "completed"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one stamped lifecycle event. Wall is nanoseconds since the
+// tracer's epoch, T the simulated time the event refers to, Src the
+// emitting ring, and Seq the ring-local emission counter — (Wall, Src,
+// Seq) totally orders a drain.
+type Event struct {
+	Req  int64
+	Kind Kind
+	T    float64 // simulated seconds
+	Arg  int64
+	Wall int64 // ns since tracer epoch
+	Src  int32
+	Seq  uint64
+}
+
+// Tracer captures request lifecycle events into per-writer ring buffers.
+// Each pipeline stage that emits events owns one Ring (per producer, per
+// shard, per drainer), so emission takes no locks; the rings retain the
+// most recent RingCap events each and count what they overwrote, and
+// Drain serializes everything retained to a JSONL sink.
+//
+// A nil *Tracer is the disabled state: Ring returns a nil *Ring, whose
+// Emit is a no-op, so the pipeline threads trace handles unconditionally
+// and pays one nil check per event when tracing is off. Tracing changes
+// no control flow, so runs with tracing enabled produce bit-identical
+// assignments to runs without (the ingress equivalence tests pin this).
+type Tracer struct {
+	epoch   time.Time
+	ringCap int
+
+	mu     sync.Mutex
+	rings  []*Ring
+	labels []string
+}
+
+// DefaultRingCap is the per-ring event retention when NewTracer is given
+// a nonpositive capacity.
+const DefaultRingCap = 4096
+
+// NewTracer builds a tracer whose rings each retain the last ringCap
+// events (DefaultRingCap when <= 0).
+func NewTracer(ringCap int) *Tracer {
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	return &Tracer{epoch: time.Now(), ringCap: ringCap}
+}
+
+// Ring registers a new single-writer ring under the given label
+// ("producer-3", "shard-0", "drain", ...). Safe to call concurrently.
+// On a nil tracer it returns nil — the no-op ring.
+func (t *Tracer) Ring(label string) *Ring {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := &Ring{tr: t, id: int32(len(t.rings)), buf: make([]Event, t.ringCap)}
+	t.rings = append(t.rings, r)
+	t.labels = append(t.labels, label)
+	return r
+}
+
+// Ring is one writer's event buffer. Exactly one goroutine at a time may
+// Emit on a ring (the pipeline's stages are single-writer by
+// construction: one producer goroutine, one drainer, one goroutine per
+// shard per fan-out). A nil Ring ignores Emit — the tracing-off state.
+type Ring struct {
+	tr  *Tracer
+	id  int32
+	buf []Event
+	seq uint64 // total events emitted; buf[seq % len(buf)] is next
+}
+
+// Emit records one event. No-op on a nil ring.
+func (r *Ring) Emit(k Kind, req int64, simT float64, arg int64) {
+	if r == nil {
+		return
+	}
+	r.buf[r.seq%uint64(len(r.buf))] = Event{
+		Req:  req,
+		Kind: k,
+		T:    simT,
+		Arg:  arg,
+		Wall: int64(time.Since(r.tr.epoch)),
+		Src:  r.id,
+		Seq:  r.seq,
+	}
+	r.seq++
+}
+
+// jsonEvent is the JSONL serialization of an Event.
+type jsonEvent struct {
+	WallNs int64   `json:"wall_ns"`
+	Src    string  `json:"src"`
+	Seq    uint64  `json:"seq"`
+	Event  string  `json:"event"`
+	Req    int64   `json:"req"`
+	T      float64 `json:"t"`
+	Arg    int64   `json:"arg"`
+}
+
+// Drain serializes every retained event, sorted by (Wall, Src, Seq), as
+// one JSON object per line, and reports how many events were written and
+// how many had been overwritten in their rings before the drain (dropped).
+// Call it only while the writers are quiescent — after the run, or
+// between fan-outs from the driving goroutine. Nil-safe: a nil tracer
+// drains nothing.
+func (t *Tracer) Drain(w io.Writer) (written, dropped int, err error) {
+	if t == nil {
+		return 0, 0, nil
+	}
+	t.mu.Lock()
+	rings := append([]*Ring(nil), t.rings...)
+	labels := append([]string(nil), t.labels...)
+	t.mu.Unlock()
+
+	var events []Event
+	for _, r := range rings {
+		n := r.seq
+		retained := n
+		if cap := uint64(len(r.buf)); retained > cap {
+			retained = cap
+		}
+		dropped += int(n - retained)
+		for i := n - retained; i < n; i++ {
+			events = append(events, r.buf[i%uint64(len(r.buf))])
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Wall != b.Wall {
+			return a.Wall < b.Wall
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Seq < b.Seq
+	})
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		je := jsonEvent{
+			WallNs: e.Wall,
+			Src:    labels[e.Src],
+			Seq:    e.Seq,
+			Event:  e.Kind.String(),
+			Req:    e.Req,
+			T:      e.T,
+			Arg:    e.Arg,
+		}
+		if err := enc.Encode(je); err != nil {
+			return written, dropped, err
+		}
+		written++
+	}
+	return written, dropped, bw.Flush()
+}

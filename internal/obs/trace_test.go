@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerAndRingAreNoOps(t *testing.T) {
+	var tr *Tracer
+	r := tr.Ring("anything")
+	if r != nil {
+		t.Fatal("nil tracer should hand out nil rings")
+	}
+	r.Emit(KindMatched, 1, 2.0, 3) // must not panic
+	var buf bytes.Buffer
+	w, d, err := tr.Drain(&buf)
+	if err != nil || w != 0 || d != 0 || buf.Len() != 0 {
+		t.Fatalf("nil tracer drain = (%d, %d, %v), want zeros", w, d, err)
+	}
+}
+
+func TestTracerDrainSortedJSONL(t *testing.T) {
+	tr := NewTracer(16)
+	a := tr.Ring("producer-0")
+	b := tr.Ring("shard-1")
+	a.Emit(KindGenerated, 10, 0.5, 0)
+	b.Emit(KindTrialed, 10, 0.5, 7)
+	a.Emit(KindAdmitted, 10, 0.5, 42)
+	b.Emit(KindMatched, 10, 0.5, 3)
+
+	var buf bytes.Buffer
+	written, dropped, err := tr.Drain(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != 4 || dropped != 0 {
+		t.Fatalf("drain = (%d written, %d dropped), want (4, 0)", written, dropped)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d JSONL lines, want 4", len(lines))
+	}
+	prevWall := int64(-1)
+	srcs := map[string]int{}
+	for _, line := range lines {
+		var e jsonEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		if e.WallNs < prevWall {
+			t.Fatalf("events not sorted by wall time: %d after %d", e.WallNs, prevWall)
+		}
+		prevWall = e.WallNs
+		if e.Req != 10 {
+			t.Fatalf("req = %d, want 10", e.Req)
+		}
+		srcs[e.Src]++
+	}
+	if srcs["producer-0"] != 2 || srcs["shard-1"] != 2 {
+		t.Fatalf("source labels wrong: %v", srcs)
+	}
+}
+
+func TestTracerRingWrapCountsDropped(t *testing.T) {
+	tr := NewTracer(4)
+	r := tr.Ring("w")
+	for i := int64(0); i < 10; i++ {
+		r.Emit(KindQueued, i, float64(i), 0)
+	}
+	var buf bytes.Buffer
+	written, dropped, err := tr.Drain(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != 4 || dropped != 6 {
+		t.Fatalf("drain = (%d written, %d dropped), want (4, 6)", written, dropped)
+	}
+	// The retained events must be the newest: reqs 6..9 in order.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for i, line := range lines {
+		var e jsonEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(6 + i); e.Req != want {
+			t.Fatalf("retained event %d has req %d, want %d", i, e.Req, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindGenerated, KindAdmitted, KindQueued, KindReleased,
+		KindTrialed, KindMatched, KindRejected, KindShed, KindCompleted}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Kind(200).String(), "Kind(") {
+		t.Fatal("unknown kind should fall back to numeric form")
+	}
+}

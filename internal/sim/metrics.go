@@ -7,9 +7,10 @@ package sim
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Metrics aggregates the measurements the paper reports.
@@ -57,9 +58,24 @@ type Metrics struct {
 	TotalShortestLen float64 // sum of d(s, e) over completed trips
 	Violations       int     // service-guarantee violations (must stay 0)
 
-	// Occupancy (paper §VI-B, unlimited capacity): per-server peak
-	// simultaneous passengers.
-	PeakOccupancy []int
+	// Occupancy (paper §VI-B, unlimited capacity): the distribution of
+	// per-server peak simultaneous passengers, one sample per drained
+	// vehicle. Small counts land in the histogram's exact range, so the
+	// paper's max/mean/top-20% stats stay exact at realistic occupancies.
+	Occupancy *obs.Histogram
+
+	// Stage-latency distributions (streaming histograms — fixed memory,
+	// mergeable, quantiles without retained samples). Latencies are in
+	// nanoseconds unless the field name says otherwise.
+	MatchLatency  *obs.Histogram // per-request match search (the ACRT samples)
+	FlushLatency  *obs.Histogram // batch mode: whole flush wall time
+	Phase1Latency *obs.Histogram // batch mode: phase-1 trial fan-out wall time
+	RepairLatency *obs.Histogram // batch mode: per-conflict incremental repair
+	ReleaseLagMs  *obs.Histogram // ingest: simulated ms, admission to release
+	// Sampled shortest-path distance lookup latency, split by cache
+	// outcome (set from the oracle stack like the cache counters).
+	DistHitLatency  *obs.Histogram
+	DistMissLatency *obs.Histogram
 
 	TotalVehicleMeters float64 // fleet distance traveled
 	TreeNodesMax       int     // largest committed kinetic tree observed
@@ -85,9 +101,9 @@ type Metrics struct {
 	ShedDeadline     int
 	IngressQueuePeak int
 
-	// ingressWaitNs samples the wall time each admitted request spent in
-	// the gateway, admission to handoff.
-	ingressWaitNs []int64
+	// IngressWait is the distribution of wall time (ns) each admitted
+	// request spent in the gateway, admission to handoff.
+	IngressWait *obs.Histogram
 }
 
 // CacheStatser is implemented by caching oracle stacks that report
@@ -98,10 +114,27 @@ type CacheStatser interface {
 	PathStats() (hits, misses uint64)
 }
 
+// CacheLatencyStatser is implemented by oracle stacks that additionally
+// sample shortest-path distance lookup latency split by cache outcome
+// (cache.Oracle, cache.Shared). The engines fold the sampled hit/miss
+// distributions into their Metrics on read.
+type CacheLatencyStatser interface {
+	DistLatency() (hit, miss *obs.Histogram)
+}
+
 func newMetrics() *Metrics {
 	return &Metrics{
-		artTotal: make(map[int]time.Duration),
-		artCount: make(map[int]int),
+		artTotal:        make(map[int]time.Duration),
+		artCount:        make(map[int]int),
+		Occupancy:       obs.NewHistogram(),
+		MatchLatency:    obs.NewHistogram(),
+		FlushLatency:    obs.NewHistogram(),
+		Phase1Latency:   obs.NewHistogram(),
+		RepairLatency:   obs.NewHistogram(),
+		ReleaseLagMs:    obs.NewHistogram(),
+		DistHitLatency:  obs.NewHistogram(),
+		DistMissLatency: obs.NewHistogram(),
+		IngressWait:     obs.NewHistogram(),
 	}
 }
 
@@ -136,6 +169,7 @@ func (m *Metrics) ARTBuckets() []int {
 func (m *Metrics) recordACRT(d time.Duration) {
 	m.acrtTotal += d
 	m.ACRTSamples++
+	m.MatchLatency.Record(d.Nanoseconds())
 }
 
 // NewMetrics returns an empty metrics sink. The sharded dispatch engine
@@ -148,9 +182,9 @@ func NewMetrics() *Metrics { return newMetrics() }
 func (m *Metrics) AddACRT(d time.Duration) { m.recordACRT(d) }
 
 // Merge folds o into m: counters and totals add, ART buckets combine,
-// occupancy lists concatenate, and maxima take the larger value. Merging
-// per-shard metrics in shard order yields deterministic totals for a fixed
-// shard count.
+// histograms merge (equivalent to recording the union of their samples),
+// and maxima take the larger value. Merging per-shard metrics in shard
+// order yields deterministic totals for a fixed shard count.
 func (m *Metrics) Merge(o *Metrics) {
 	m.Requests += o.Requests
 	m.Matched += o.Matched
@@ -173,7 +207,14 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.TotalRideMeters += o.TotalRideMeters
 	m.TotalShortestLen += o.TotalShortestLen
 	m.Violations += o.Violations
-	m.PeakOccupancy = append(m.PeakOccupancy, o.PeakOccupancy...)
+	m.Occupancy.Merge(o.Occupancy)
+	m.MatchLatency.Merge(o.MatchLatency)
+	m.FlushLatency.Merge(o.FlushLatency)
+	m.Phase1Latency.Merge(o.Phase1Latency)
+	m.RepairLatency.Merge(o.RepairLatency)
+	m.ReleaseLagMs.Merge(o.ReleaseLagMs)
+	m.DistHitLatency.Merge(o.DistHitLatency)
+	m.DistMissLatency.Merge(o.DistMissLatency)
 	m.TotalVehicleMeters += o.TotalVehicleMeters
 	if o.TreeNodesMax > m.TreeNodesMax {
 		m.TreeNodesMax = o.TreeNodesMax
@@ -188,7 +229,7 @@ func (m *Metrics) Merge(o *Metrics) {
 	if o.IngressQueuePeak > m.IngressQueuePeak {
 		m.IngressQueuePeak = o.IngressQueuePeak
 	}
-	m.ingressWaitNs = append(m.ingressWaitNs, o.ingressWaitNs...)
+	m.IngressWait.Merge(o.IngressWait)
 }
 
 // Shed is the total number of requests the ingress gateway dropped, over
@@ -198,41 +239,20 @@ func (m *Metrics) Shed() int { return m.ShedOverflow + m.ShedDeadline }
 // AddIngressWait records one admitted request's gateway residence time
 // (admission to handoff).
 func (m *Metrics) AddIngressWait(d time.Duration) {
-	m.ingressWaitNs = append(m.ingressWaitNs, d.Nanoseconds())
+	m.IngressWait.Record(d.Nanoseconds())
 }
 
 // IngressWaitMean returns the mean gateway residence time over admitted
 // requests, or 0 before any handoffs.
 func (m *Metrics) IngressWaitMean() time.Duration {
-	if len(m.ingressWaitNs) == 0 {
-		return 0
-	}
-	var sum int64
-	for _, ns := range m.ingressWaitNs {
-		sum += ns
-	}
-	return time.Duration(sum / int64(len(m.ingressWaitNs)))
+	return time.Duration(m.IngressWait.Mean())
 }
 
 // IngressWaitP99 returns the 99th-percentile gateway residence time, or 0
-// before any handoffs.
-func (m *Metrics) IngressWaitP99() time.Duration { return m.ingressWaitQuantile(0.99) }
-
-func (m *Metrics) ingressWaitQuantile(q float64) time.Duration {
-	n := len(m.ingressWaitNs)
-	if n == 0 {
-		return 0
-	}
-	sorted := append([]int64(nil), m.ingressWaitNs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(math.Ceil(q*float64(n))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= n {
-		idx = n - 1
-	}
-	return time.Duration(sorted[idx])
+// before any handoffs. Histogram-backed: exact rank, value within the
+// documented bucket error (<= 12.5% relative).
+func (m *Metrics) IngressWaitP99() time.Duration {
+	return time.Duration(m.IngressWait.Quantile(0.99))
 }
 
 // SetCacheStats overwrites the cache counters from an oracle stack's
@@ -243,6 +263,14 @@ func (m *Metrics) SetCacheStats(distHits, distMisses, pathHits, pathMisses uint6
 	m.DistCacheMisses = distMisses
 	m.PathCacheHits = pathHits
 	m.PathCacheMisses = pathMisses
+}
+
+// SetDistLatency overwrites the sampled distance-lookup latency
+// distributions from an oracle stack's lifetime histograms. Set, not add,
+// for the same idempotence reason as SetCacheStats.
+func (m *Metrics) SetDistLatency(hit, miss *obs.Histogram) {
+	m.DistHitLatency.CopyFrom(hit)
+	m.DistMissLatency.CopyFrom(miss)
 }
 
 // DistCacheHitRate returns the distance-cache hit rate, or 0 before any
@@ -270,27 +298,23 @@ func (m *Metrics) recordART(active int, d time.Duration) {
 	m.TrialCalls++
 }
 
+// AddOccupancy records one server's peak simultaneous passenger count.
+func (m *Metrics) AddOccupancy(peak int) {
+	m.Occupancy.Record(int64(peak))
+}
+
 // OccupancyStats summarizes per-server peak occupancy as the paper does:
 // the maximum across servers, the mean, and the mean over the top 20% most
-// filled servers.
+// filled servers. Max and mean are exact; the top-20% mean uses the
+// histogram's bucket midpoints, which are exact for peaks below 16.
 func (m *Metrics) OccupancyStats() (max int, mean, top20Mean float64) {
-	if len(m.PeakOccupancy) == 0 {
+	n := m.Occupancy.Count()
+	if n == 0 {
 		return 0, 0, 0
 	}
-	sorted := append([]int(nil), m.PeakOccupancy...)
-	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
-	max = sorted[0]
-	sum := 0
-	for _, v := range sorted {
-		sum += v
-	}
-	mean = float64(sum) / float64(len(sorted))
-	k := (len(sorted) + 4) / 5 // ceil(20%)
-	tsum := 0
-	for _, v := range sorted[:k] {
-		tsum += v
-	}
-	top20Mean = float64(tsum) / float64(k)
+	max = int(m.Occupancy.Max())
+	mean = float64(m.Occupancy.Sum()) / float64(n)
+	top20Mean = m.Occupancy.TopMean((n + 4) / 5) // ceil(20%)
 	return max, mean, top20Mean
 }
 
@@ -351,6 +375,16 @@ type Snapshot struct {
 	IngressWaitMeanNs  int64 `json:"ingress_wait_mean_ns"`
 	IngressWaitP99Ns   int64 `json:"ingress_wait_p99_ns"`
 	IngressWaitSamples int   `json:"ingress_wait_samples"`
+
+	// Stage-latency digests (count/mean/p50/p90/p99/max) from the
+	// streaming histograms.
+	MatchLatencyNs  obs.Summary `json:"match_latency_ns"`
+	FlushLatencyNs  obs.Summary `json:"flush_latency_ns"`
+	Phase1LatencyNs obs.Summary `json:"phase1_latency_ns"`
+	RepairLatencyNs obs.Summary `json:"repair_latency_ns"`
+	ReleaseLagMs    obs.Summary `json:"release_lag_ms"`
+	DistHitNs       obs.Summary `json:"dist_hit_latency_ns"`
+	DistMissNs      obs.Summary `json:"dist_miss_latency_ns"`
 }
 
 // ARTBucket is one ART histogram bucket in a Snapshot.
@@ -400,7 +434,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		IngressQueuePeak:   m.IngressQueuePeak,
 		IngressWaitMeanNs:  m.IngressWaitMean().Nanoseconds(),
 		IngressWaitP99Ns:   m.IngressWaitP99().Nanoseconds(),
-		IngressWaitSamples: len(m.ingressWaitNs),
+		IngressWaitSamples: int(m.IngressWait.Count()),
+
+		MatchLatencyNs:  m.MatchLatency.Summary(),
+		FlushLatencyNs:  m.FlushLatency.Summary(),
+		Phase1LatencyNs: m.Phase1Latency.Summary(),
+		RepairLatencyNs: m.RepairLatency.Summary(),
+		ReleaseLagMs:    m.ReleaseLagMs.Summary(),
+		DistHitNs:       m.DistHitLatency.Summary(),
+		DistMissNs:      m.DistMissLatency.Summary(),
 	}
 	for _, b := range m.ARTBuckets() {
 		d, n := m.ART(b)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sp"
 	"repro/internal/spatial"
@@ -94,6 +95,15 @@ type Config struct {
 	Workers     int
 	Shards      int
 	BatchWindow float64
+
+	// Trace, when non-nil, captures per-request lifecycle events
+	// (trialed, matched, rejected, completed) into ring buffers — one per
+	// engine goroutine — drainable to JSONL. Tracing changes no control
+	// flow, so traced runs produce bit-identical assignments.
+	Trace *obs.Tracer
+	// Live, when non-nil, receives atomically readable progress counters
+	// that the interval reporter and /metrics endpoint may poll mid-run.
+	Live *obs.Live
 }
 
 func (c *Config) withDefaults() Config {
@@ -139,6 +149,8 @@ type Simulator struct {
 	clock      float64
 	reports    reportQueue
 	candidates []spatial.ObjectID // scratch
+	ring       *obs.Ring          // lifecycle events (nil = tracing off)
+	live       *obs.Live          // live counters (nil = off)
 
 	drainRoundCap int   // test hook; 0 selects DefaultDrainRoundCap
 	drainErr      error // sticky Drain truncation error, surfaced by CheckInvariants
@@ -177,7 +189,10 @@ func New(cfg Config) (*Simulator, error) {
 		w:       NewWorker(cfg, cfg.Oracle, metrics),
 		grid:    grid,
 		metrics: metrics,
+		ring:    cfg.Trace.Ring("sim"),
+		live:    cfg.Live,
 	}
+	s.w.SetTrace(s.ring, s.live)
 	for i, p := range Placements(cfg) {
 		v := s.w.NewVehicle(i, p.Loc)
 		s.vehicles = append(s.vehicles, v)
@@ -197,6 +212,9 @@ func (s *Simulator) Metrics() *Metrics {
 		dh, dm := cs.DistStats()
 		ph, pm := cs.PathStats()
 		s.metrics.SetCacheStats(dh, dm, ph, pm)
+	}
+	if cls, ok := s.oracle.(CacheLatencyStatser); ok {
+		s.metrics.SetDistLatency(cls.DistLatency())
 	}
 	return s.metrics
 }
@@ -251,6 +269,7 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 	s.drainReportsUntil(req.Time)
 	s.clock = req.Time
 	s.metrics.Requests++
+	s.live.AddRequests(1)
 
 	waitMeters, eps := s.w.Budget(req)
 	px, py := s.graph.Coord(req.Pickup)
@@ -275,15 +294,19 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 		}
 	}
 	s.metrics.recordACRT(time.Since(started))
+	s.ring.Emit(obs.KindTrialed, req.ID, req.Time, int64(len(s.candidates)))
 
 	if bestVeh < 0 {
 		s.metrics.Rejected++
+		s.live.AddRejected(1)
+		s.ring.Emit(obs.KindRejected, req.ID, req.Time, -1)
 		return false, -1
 	}
 	// Trial results are only valid against the vehicle state they were
 	// computed from; if later trials were run on other vehicles this one's
 	// state is unchanged, so the trial is still fresh.
 	s.w.Commit(s.vehicles[bestVeh], best)
+	s.ring.Emit(obs.KindMatched, req.ID, req.Time, int64(bestVeh))
 	return true, bestVeh
 }
 
@@ -333,7 +356,7 @@ func (s *Simulator) Drain() error {
 		s.drainErr = fmt.Errorf("sim: drain truncated after %d rounds (%.0f s): %d vehicles still busy", rounds, float64(rounds)*DrainStep, stuck)
 	}
 	for _, v := range s.vehicles {
-		s.metrics.PeakOccupancy = append(s.metrics.PeakOccupancy, v.peakOnboard)
+		s.metrics.AddOccupancy(v.peakOnboard)
 	}
 	return s.drainErr
 }

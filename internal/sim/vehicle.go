@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 )
 
@@ -245,6 +246,8 @@ func (w *Worker) accountStop(v *Vehicle, kind core.StopKind, tr core.TripState, 
 		}
 	case core.Dropoff:
 		w.metrics.Completed++
+		w.live.AddCompleted(1)
+		w.ring.Emit(obs.KindCompleted, tr.ID, v.clock, int64(v.id))
 		if pOdo, ok := v.pickupOdo[tr.ID]; ok {
 			ride := at - pOdo
 			w.metrics.TotalRideMeters += ride

@@ -148,7 +148,9 @@ func TestMetricsARTBuckets(t *testing.T) {
 // TestOccupancyStats checks the top-20% computation.
 func TestOccupancyStats(t *testing.T) {
 	m := newMetrics()
-	m.PeakOccupancy = []int{1, 1, 1, 1, 2, 2, 3, 3, 4, 17}
+	for _, p := range []int{1, 1, 1, 1, 2, 2, 3, 3, 4, 17} {
+		m.AddOccupancy(p)
+	}
 	max, mean, top := m.OccupancyStats()
 	if max != 17 {
 		t.Fatalf("max=%d", max)
@@ -175,7 +177,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	m.Completed = 8
 	m.recordACRT(1000)
 	m.recordART(3, 500)
-	m.PeakOccupancy = []int{2, 4}
+	m.AddOccupancy(2)
+	m.AddOccupancy(4)
 	s := m.Snapshot()
 	if s.Requests != 10 || s.Matched != 8 || s.Rejected != 2 {
 		t.Fatalf("counts: %+v", s)

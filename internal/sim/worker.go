@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sp"
 )
@@ -27,6 +28,8 @@ type Worker struct {
 	oracle  sp.Oracle
 	metrics *Metrics
 	sched   core.Scheduler // shared by this worker's stateless vehicles
+	ring    *obs.Ring      // lifecycle events (nil = tracing off)
+	live    *obs.Live      // live counters (nil = off)
 }
 
 // NewWorker builds a worker over the graph in cfg using the given oracle
@@ -48,6 +51,14 @@ func NewWorker(cfg Config, oracle sp.Oracle, m *Metrics) *Worker {
 		w.sched = ms
 	}
 	return w
+}
+
+// SetTrace attaches a lifecycle-event ring and live counter set to the
+// worker. Both may be nil (the default): emission is then a no-op. The
+// engines call this once at construction, before any request is driven.
+func (w *Worker) SetTrace(ring *obs.Ring, live *obs.Live) {
+	w.ring = ring
+	w.live = live
 }
 
 // Metrics returns the worker's metrics sink.
@@ -224,6 +235,7 @@ func (w *Worker) Commit(v *Vehicle, tr Trial) {
 		w.commitStateless(v, tr.result, tr.trip)
 	}
 	w.metrics.Matched++
+	w.live.AddMatched(1)
 }
 
 // buildInstance assembles the rescheduling instance for a stateless vehicle:

@@ -30,6 +30,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
 )
@@ -99,6 +100,11 @@ type Options struct {
 	// (default 1000).
 	MinTripMeters float64
 	Seed          int64
+	// Trace, when non-nil, stamps a KindGenerated lifecycle event for every
+	// request drawn from the stream (ring label "workload"). Tracing never
+	// alters the stream: the same seed and options produce the same
+	// requests with tracing on or off.
+	Trace *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -164,7 +170,8 @@ type Generator struct {
 	t     float64 // current stream time
 	count int     // requests emitted
 	done  bool
-	err   error // sampling failure that ended the stream early
+	err   error     // sampling failure that ended the stream early
+	ring  *obs.Ring // KindGenerated events (nil = tracing off)
 }
 
 type spot struct{ x, y float64 }
@@ -183,6 +190,7 @@ func New(g *roadnet.Graph, opt Options) (*Generator, error) {
 		g:       g,
 		rng:     rand.New(rand.NewSource(opt.Seed)),
 		locator: roadnet.NewVertexLocator(g, 8),
+		ring:    opt.Trace.Ring("workload"),
 	}
 	gen.minX, gen.minY, gen.maxX, gen.maxY = g.Bounds()
 	for i := 0; i < opt.Hotspots; i++ {
@@ -251,6 +259,7 @@ func (gen *Generator) Next() (req sim.Request, ok bool) {
 	}
 	req = sim.Request{ID: int64(gen.count), Time: gen.t, Pickup: s, Dropoff: e}
 	gen.count++
+	gen.ring.Emit(obs.KindGenerated, req.ID, req.Time, 0)
 	return req, true
 }
 
