@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/cache"
@@ -50,6 +51,8 @@ type options struct {
 	graphPath    string
 	tripsPath    string
 	servers      int
+	fleet        int
+	autoTune     bool
 	capacity     int
 	waitMin      float64
 	epsPct       float64
@@ -82,6 +85,8 @@ func main() {
 	flag.StringVar(&o.graphPath, "graph", "", "road network file (RNG1 format, see genmap)")
 	flag.StringVar(&o.tripsPath, "trips", "", "trip CSV (see gentrips); requires -graph")
 	flag.IntVar(&o.servers, "servers", 200, "fleet size")
+	flag.IntVar(&o.fleet, "fleet", 0, "fleet size (overrides -servers; convenience for city-scale runs)")
+	flag.BoolVar(&o.autoTune, "auto-tune", false, "derive shard count and grid cell size from fleet size and graph extent")
 	flag.IntVar(&o.capacity, "capacity", 4, "vehicle capacity (0 = unlimited)")
 	flag.Float64Var(&o.waitMin, "wait", 10, "waiting-time constraint in minutes")
 	flag.Float64Var(&o.epsPct, "eps", 20, "service constraint in percent extra ride")
@@ -154,6 +159,9 @@ func run(o options) error {
 	algo, err := parseAlgo(o.algoName)
 	if err != nil {
 		return err
+	}
+	if o.fleet > 0 {
+		o.servers = o.fleet
 	}
 
 	var g *roadnet.Graph
@@ -284,12 +292,17 @@ func run(o options) error {
 		Workers:          o.workers,
 		Shards:           o.shards,
 		BatchWindow:      o.batchWin,
+		AutoTune:         o.autoTune,
 		Trace:            tracer,
 		Live:             live,
 	}
 
 	var m *sim.Metrics
 	var wall time.Duration
+	// Allocation accounting for the tuning summary: deltas cover engine
+	// construction plus the run.
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	if o.workers > 1 || o.shards > 1 || o.batchWin > 0 {
 		var eng *dispatch.Engine
 		if cached {
@@ -369,6 +382,7 @@ func run(o options) error {
 			return err
 		}
 	}
+	runtime.ReadMemStats(&ms1)
 
 	// Drain the lifecycle trace once the pipeline is quiescent: events from
 	// every ring, globally ordered, one JSON object per line.
@@ -397,6 +411,20 @@ func run(o options) error {
 	fmt.Printf("\n%s\nwall time: %v\n", m, wall.Round(time.Millisecond))
 	max, mean, top := m.OccupancyStats()
 	fmt.Printf("occupancy: max=%d mean=%.2f top20%%=%.2f\n", max, mean, top)
+	tunedBy := "configured"
+	if m.AutoTuned {
+		tunedBy = "auto-tuned"
+	}
+	allocBytes := ms1.TotalAlloc - ms0.TotalAlloc
+	allocObjs := ms1.Mallocs - ms0.Mallocs
+	bytesPerReq := float64(0)
+	if m.Requests > 0 {
+		bytesPerReq = float64(allocBytes) / float64(m.Requests)
+	}
+	fmt.Printf("tuning (%s): %d shards, cell size %.0f m; alloc %.1f MB / %d objects (%.0f B/req); GC pause total %v\n",
+		tunedBy, m.TunedShards, m.TunedCellSize,
+		float64(allocBytes)/(1<<20), allocObjs, bytesPerReq,
+		time.Duration(ms1.PauseTotalNs-ms0.PauseTotalNs).Round(time.Microsecond))
 	if o.batchWin > 0 {
 		fmt.Printf("batch repair: %d conflicts repaired incrementally, %d retrial insertions saved vs full re-fan-out\n",
 			m.ConflictsRepaired, m.RetrialTrialsSaved)

@@ -37,7 +37,7 @@ func TestTreeMatchesBruteForceIncrementally(t *testing.T) {
 					Origin:   tree.Loc(),
 					Odo:      tree.Odo(),
 					Capacity: variant.opts.Capacity,
-					Trips:    tree.ActiveTripStates(),
+					Trips:    tree.ActiveTripStates(nil),
 				}
 			}
 

@@ -90,6 +90,7 @@ type Tree struct {
 	onboard int       // walk scratch: passengers in the vehicle at the branch point
 	nodes   int       // node count of the committed tree
 	stale   bool      // lazy invalidation: movement since the last revalidation
+	ins     inserter  // per-trial scratch; reused so trials allocate no inserter
 }
 
 // resetWalk initializes the branch-walk scratch state to the root position:
@@ -170,10 +171,12 @@ func (t *Tree) OnBoard() int {
 // Trip returns the state of trip slot i.
 func (t *Tree) Trip(i int) TripState { return t.trips[i] }
 
-// ActiveTripStates returns copies of the accepted, uncompleted trips in
-// slot order; used to reconstruct the equivalent rescheduling instance.
-func (t *Tree) ActiveTripStates() []TripState {
-	var out []TripState
+// ActiveTripStates appends copies of the accepted, uncompleted trips in
+// slot order to out and returns the extended slice; used to reconstruct
+// the equivalent rescheduling instance. Passing a recycled buffer makes
+// the call allocation-free once the buffer has grown to fleet steady
+// state.
+func (t *Tree) ActiveTripStates(out []TripState) []TripState {
 	for i := range t.trips {
 		if !t.done[i] {
 			out = append(out, t.trips[i])
@@ -191,6 +194,20 @@ type Candidate struct {
 	trip     TripState
 	children []*treeNode
 	nodes    int
+}
+
+// Release returns the candidate's nodes to the pool. Call it when the
+// candidate has definitively lost — it will never be committed. Releasing
+// a candidate that was already committed (or already released) is a no-op:
+// Commit and Release both detach the forest, so a blanket release sweep
+// over every trial of a request is safe after the winner commits.
+func (c *Candidate) Release() {
+	if c == nil || c.children == nil {
+		return
+	}
+	freeForest(c.children)
+	c.children = nil
+	c.nodes = 0
 }
 
 // ErrTooManyTrips is returned when a server would exceed the per-server
@@ -231,7 +248,8 @@ func (t *Tree) TrialInsert(trip TripState) (*Candidate, bool, error) {
 		t.revalidateLazy()
 		t.resetWalk()
 	}
-	ins := &inserter{t: t, budget: budget}
+	ins := &t.ins
+	*ins = inserter{t: t, budget: budget}
 	children, ok := ins.insertList(t.children, t.loc, t.odo, trip.Stops(idx))
 	if ins.overBudget {
 		return nil, false, fmt.Errorf("core: candidate tree exceeds %d nodes", t.opts.MaxTreeNodes)
@@ -263,7 +281,16 @@ func (t *Tree) Commit(c *Candidate) {
 	t.trips = append(t.trips, c.trip)
 	t.done = append(t.done, false)
 	t.pickAt = append(t.pickAt, -1)
+	old := t.children
 	t.children = c.children
+	// The candidate is consumed: detach its forest so a later Release
+	// (engines sweep-release every trial of a request) cannot free the
+	// nodes the tree now owns.
+	c.children = nil
+	// The replaced committed forest is dead. Its stops/intra arrays may
+	// live on in other retained candidates' copies; freeing nils only the
+	// headers.
+	freeForest(old)
 	t.refreshAll()
 }
 
@@ -382,6 +409,7 @@ func (ins *inserter) insertList(children []*treeNode, from roadnet.VertexID, at 
 	// Hotspot merge and descent options, per existing child.
 	for _, c := range children {
 		if ins.overBudget {
+			freeForest(out)
 			return nil, false
 		}
 		if t.opts.HotspotTheta > 0 && t.withinTheta(c, P[0].Vertex) {
@@ -405,16 +433,19 @@ func (ins *inserter) insertList(children []*treeNode, from roadnet.VertexID, at 
 		for i := len(c.stops) - 1; i >= 0; i-- {
 			t.unvisitStop(c.stops[i])
 		}
-		if ok && ins.alloc() {
-			nn := &treeNode{
-				stops:    c.stops,
-				leg:      c.leg,
-				intra:    c.intra,
-				intraSum: c.intraSum,
-				children: nc,
-				dmax:     c.dmax,
-				dmin:     c.dmin,
+		if ok {
+			if !ins.alloc() {
+				freeForest(nc)
+				continue
 			}
+			nn := newNode()
+			nn.stops = c.stops
+			nn.leg = c.leg
+			nn.intra = c.intra
+			nn.intraSum = c.intraSum
+			nn.children = nc
+			nn.dmax = c.dmax
+			nn.dmin = c.dmin
 			out = append(out, nn)
 		}
 	}
@@ -449,7 +480,9 @@ func (ins *inserter) newNodeHere(children []*treeNode, from roadnet.VertexID, at
 	if !ins.alloc() {
 		return nil
 	}
-	n := &treeNode{stops: []Stop{P[0]}, leg: leg}
+	n := newNode()
+	n.stops = []Stop{P[0]}
+	n.leg = leg
 	if d, windowed := t.slackOf(P[0], arrive); windowed {
 		n.dmax = math.Inf(1)
 		n.dmin = d
@@ -479,16 +512,22 @@ func (ins *inserter) newNodeHere(children []*treeNode, from roadnet.VertexID, at
 			}
 		}
 		if len(shifted) == 0 {
-			return nil // every continuation died: placement infeasible
+			freeNode(n) // every continuation died: placement infeasible
+			return nil
 		}
 		n.children = shifted
 	}
 	if len(P) > 1 {
 		nc, ok := ins.insertList(n.children, P[0].Vertex, arrive, P[1:])
 		if !ok {
+			freeTree(n) // frees the shifted copies along with n
 			return nil
 		}
+		// The shifted intermediates were only inputs to the deeper insert;
+		// the output forest contains fresh copies of the survivors.
+		old := n.children
 		n.children = nc
+		freeForest(old)
 	}
 	// Aggregate slack over the final children.
 	if len(n.children) > 0 {
@@ -538,14 +577,13 @@ func (ins *inserter) copyShifted(c *treeNode, newLeg, at, detour float64) *treeN
 	}
 	var nn *treeNode
 	if okStops {
-		nn = &treeNode{
-			stops:    c.stops,
-			leg:      newLeg,
-			intra:    c.intra,
-			intraSum: c.intraSum,
-			dmax:     c.dmax - detour,
-			dmin:     c.dmin - detour,
-		}
+		nn = newNode()
+		nn.stops = c.stops
+		nn.leg = newLeg
+		nn.intra = c.intra
+		nn.intraSum = c.intraSum
+		nn.dmax = c.dmax - detour
+		nn.dmin = c.dmin - detour
 		if len(c.children) > 0 {
 			for _, gc := range c.children {
 				if t.opts.Slack && detour > gc.dmax+slackEps {
@@ -556,7 +594,8 @@ func (ins *inserter) copyShifted(c *treeNode, newLeg, at, detour float64) *treeN
 				}
 			}
 			if len(nn.children) == 0 {
-				nn = nil // incomplete schedules are invalid
+				freeNode(nn) // incomplete schedules are invalid
+				nn = nil
 			}
 		}
 	}
@@ -569,19 +608,24 @@ func (ins *inserter) copyShifted(c *treeNode, newLeg, at, detour float64) *treeN
 // plainCopy duplicates a subtree without constraint checks (used when the
 // slack bound certifies every branch survives the detour).
 func (ins *inserter) plainCopy(c *treeNode, newLeg, detour float64) *treeNode {
-	nn := &treeNode{
-		stops:    c.stops,
-		leg:      newLeg,
-		intra:    c.intra,
-		intraSum: c.intraSum,
-		dmax:     c.dmax - detour,
-		dmin:     c.dmin - detour,
-	}
+	nn := newNode()
+	nn.stops = c.stops
+	nn.leg = newLeg
+	nn.intra = c.intra
+	nn.intraSum = c.intraSum
+	nn.dmax = c.dmax - detour
+	nn.dmin = c.dmin - detour
 	for _, gc := range c.children {
 		if !ins.alloc() {
+			freeTree(nn)
 			return nil
 		}
-		nn.children = append(nn.children, ins.plainCopy(gc, gc.leg, detour))
+		cc := ins.plainCopy(gc, gc.leg, detour)
+		if cc == nil { // a deeper copy ran over budget
+			freeTree(nn)
+			return nil
+		}
+		nn.children = append(nn.children, cc)
 	}
 	return nn
 }
@@ -637,12 +681,11 @@ func (ins *inserter) mergeInto(c *treeNode, from roadnet.VertexID, at float64, P
 	intra := make([]float64, len(c.intra)+1)
 	copy(intra, c.intra)
 	intra[len(c.intra)] = add
-	nn := &treeNode{
-		stops:    stops,
-		leg:      c.leg,
-		intra:    intra,
-		intraSum: c.intraSum + add,
-	}
+	nn := newNode()
+	nn.stops = stops
+	nn.leg = c.leg
+	nn.intra = intra
+	nn.intraSum = c.intraSum + add
 	t.visitStop(P[0], arrive)
 	visited = append(visited, P[0])
 	// Children now depart from P[0].Vertex instead of oldLast and are
@@ -662,15 +705,19 @@ func (ins *inserter) mergeInto(c *treeNode, from roadnet.VertexID, at float64, P
 			}
 		}
 		if len(nn.children) == 0 {
+			freeNode(nn)
 			return nil
 		}
 	}
 	if len(P) > 1 {
 		nc, ok := ins.insertList(nn.children, P[0].Vertex, arrive, P[1:])
 		if !ok {
+			freeTree(nn)
 			return nil
 		}
+		old := nn.children
 		nn.children = nc
+		freeForest(old)
 	}
 	return nn
 }
@@ -786,7 +833,16 @@ func (t *Tree) Advance() ([]Served, error) {
 	}
 	t.odo = arrive
 	t.loc = c.lastVertex()
+	old := t.children
 	t.children = c.children
+	// The served node and its pruned sibling schedules (Lemma 1) are dead.
+	for _, sib := range old {
+		if sib != c {
+			freeTree(sib)
+		}
+	}
+	c.children = nil
+	freeNode(c)
 	if t.Empty() {
 		// All trips served: recycle the slot arrays.
 		t.trips = t.trips[:0]
@@ -832,11 +888,13 @@ func (t *Tree) SetLocation(v roadnet.VertexID, odo float64) {
 // their legs and slack aggregates fresh on every movement.
 func (t *Tree) pruneEager() {
 	t.resetWalk()
-	ins := &inserter{t: t, budget: math.MaxInt}
+	ins := &t.ins
+	*ins = inserter{t: t, budget: math.MaxInt}
 	kept := t.children[:0]
 	for _, c := range t.children {
 		newLeg := t.oracle.Dist(t.loc, c.stops[0].Vertex)
 		if newLeg == sp.Inf {
+			freeTree(c)
 			continue
 		}
 		detour := newLeg - c.leg // relative to previous position
@@ -849,6 +907,7 @@ func (t *Tree) pruneEager() {
 		if cc := ins.copyShifted(c, newLeg, t.odo, detour); cc != nil {
 			kept = append(kept, cc)
 		}
+		freeTree(c) // replaced by the shifted copy (or pruned entirely)
 	}
 	t.children = kept
 	t.refreshAll()
@@ -863,6 +922,8 @@ func (t *Tree) revalidateLazy() {
 	for _, c := range t.children {
 		if cc := t.revalidateNode(c, t.odo); cc != nil {
 			kept = append(kept, cc)
+		} else {
+			freeTree(c)
 		}
 	}
 	t.children = kept
@@ -899,6 +960,8 @@ func (t *Tree) revalidateNode(n *treeNode, at float64) *treeNode {
 	for _, c := range n.children {
 		if cc := t.revalidateNode(c, arrive); cc != nil {
 			kept = append(kept, cc)
+		} else {
+			freeTree(c)
 		}
 	}
 	n.children = kept

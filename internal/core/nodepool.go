@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Node pooling. A TrialInsert builds an entirely fresh candidate forest —
+// the paper's "generating a new prefix tree based on the existing one"
+// (§IV-B) — and the overwhelming majority of those forests are discarded:
+// every losing candidate vehicle's tree, every placement that dies a
+// feasibility check, and on Commit the whole previous committed tree. At
+// city scale that churn dominates the allocation profile of the match hot
+// path, so discarded nodes are recycled through a sync.Pool instead of
+// being left to the garbage collector.
+//
+// Ownership rules (what keeps recycling sound):
+//
+//   - Candidate forests are node-disjoint from the tree they were built
+//     from and from every other candidate: the inserter always creates
+//     fresh nodes. Only the stops/intra *backing arrays* are shared
+//     between a source node and its copies.
+//   - Therefore a freed node's slice headers are nil'd and never written
+//     through — the arrays may still be referenced by live nodes — and a
+//     recycled node is handed out fully zeroed, indistinguishable from
+//     `new(treeNode)`. Pooling on and off produce bit-identical trees.
+//   - A node is released exactly once, by its owner: the inserter frees
+//     placements it built and then rejected, Commit frees the replaced
+//     committed forest, Advance frees the served node and its pruned
+//     siblings, the eager/lazy revalidators free dead branches, and
+//     engines free losing candidates via Candidate.Release. Commit marks
+//     the adopted candidate consumed (children = nil), so a blanket
+//     Release sweep after a commit never frees live nodes.
+//   - A released candidate must never be committed afterwards: its nodes
+//     may already be rewritten by a later trial, and the Commit staleness
+//     check cannot detect that. Engines release a trial only once it has
+//     definitively lost.
+
+// nodePoolOff disables recycling when set (SetNodePooling(false)): newNode
+// falls back to plain allocation and the free functions become no-ops.
+// Exists so equivalence tests can prove pooled and unpooled runs produce
+// bit-identical assignments.
+var nodePoolOff atomic.Bool
+
+// SetNodePooling toggles treeNode recycling (on by default). Safe to call
+// concurrently, but toggling while trials are in flight may strand nodes
+// in the pool or leak them to the GC — both harmless.
+func SetNodePooling(on bool) { nodePoolOff.Store(!on) }
+
+// NodePooling reports whether treeNode recycling is enabled.
+func NodePooling() bool { return !nodePoolOff.Load() }
+
+var nodePool = sync.Pool{New: func() any { return new(treeNode) }}
+
+// newNode returns a zeroed node, recycled when pooling is on.
+func newNode() *treeNode {
+	if nodePoolOff.Load() {
+		return new(treeNode)
+	}
+	return nodePool.Get().(*treeNode)
+}
+
+// freeNode scrubs n and returns it to the pool. The caller must own n and
+// must have detached any live children first: the children header is
+// dropped, not freed. Scrubbing nils the stops/intra headers without
+// touching the backing arrays, which may outlive n through copies.
+func freeNode(n *treeNode) {
+	if nodePoolOff.Load() {
+		return
+	}
+	*n = treeNode{}
+	nodePool.Put(n)
+}
+
+// freeTree releases the whole subtree rooted at n, children first. Nil
+// entries (a plainCopy aborted over budget) are skipped.
+func freeTree(n *treeNode) {
+	if n == nil || nodePoolOff.Load() {
+		return
+	}
+	for _, c := range n.children {
+		freeTree(c)
+	}
+	*n = treeNode{}
+	nodePool.Put(n)
+}
+
+// freeForest releases every subtree of a dropped forest.
+func freeForest(children []*treeNode) {
+	if nodePoolOff.Load() {
+		return
+	}
+	for _, c := range children {
+		freeTree(c)
+	}
+}

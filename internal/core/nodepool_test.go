@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestNodePoolScrub proves a recycled treeNode carries no stale state: a
+// freed node's slice headers and slack aggregates are zeroed before it
+// reenters the pool, so a reuse can never alias a previous trial's stops
+// or inherit its pruning bounds.
+func TestNodePoolScrub(t *testing.T) {
+	if !NodePooling() {
+		t.Skip("node pooling disabled")
+	}
+	n := newNode()
+	n.stops = []Stop{{Trip: 3, Kind: Pickup}, {Trip: 4, Kind: Dropoff}}
+	n.intra = []float64{123.5}
+	n.intraSum = 123.5
+	n.leg = 42
+	n.dmax = 7
+	n.dmin = -7
+	n.children = []*treeNode{newNode()}
+	child := n.children[0]
+	child.stops = []Stop{{Trip: 9}}
+
+	// freeTree releases children first, then n — both must come back
+	// indistinguishable from new(treeNode). We still hold the pointers,
+	// so the scrub is directly observable.
+	freeTree(n)
+	for i, got := range []*treeNode{n, child} {
+		if got.stops != nil || got.intra != nil || got.children != nil {
+			t.Fatalf("node %d: freed node kept slice headers: %+v", i, got)
+		}
+		if got.leg != 0 || got.intraSum != 0 || got.dmax != 0 || got.dmin != 0 {
+			t.Fatalf("node %d: freed node kept scalar state: %+v", i, got)
+		}
+	}
+
+	// Whatever newNode hands out next — recycled or fresh — must be the
+	// zero value.
+	for i := 0; i < 4; i++ {
+		m := newNode()
+		if m.stops != nil || m.intra != nil || m.children != nil ||
+			m.leg != 0 || m.intraSum != 0 || m.dmax != 0 || m.dmin != 0 {
+			t.Fatalf("newNode returned dirty node: %+v", m)
+		}
+		freeNode(m)
+	}
+}
+
+// TestNodePoolFreeIsHeaderOnly proves freeing never writes through a shared
+// backing array: a copy node sharing the source's stops array is freed, and
+// the source's stops must be untouched — the aliasing situation every
+// descend-copy in TrialInsert creates.
+func TestNodePoolFreeIsHeaderOnly(t *testing.T) {
+	src := newNode()
+	src.stops = []Stop{{Trip: 1, Kind: Pickup}, {Trip: 1, Kind: Dropoff}}
+
+	cp := newNode()
+	cp.stops = src.stops // slice-header copy, shared backing array
+	freeNode(cp)
+
+	if len(src.stops) != 2 || src.stops[0].Trip != 1 || src.stops[1].Kind != Dropoff {
+		t.Fatalf("freeing an aliasing node corrupted the shared stops array: %+v", src.stops)
+	}
+	src.stops = nil
+	freeNode(src)
+}
+
+// TestNodePoolToggle exercises the SetNodePooling gate: with pooling off,
+// free functions are no-ops (nothing is scrubbed or recycled).
+func TestNodePoolToggle(t *testing.T) {
+	defer SetNodePooling(true)
+	SetNodePooling(false)
+	if NodePooling() {
+		t.Fatal("SetNodePooling(false) did not disable pooling")
+	}
+	n := newNode()
+	n.stops = []Stop{{Trip: 5}}
+	freeNode(n)
+	if len(n.stops) != 1 {
+		t.Fatal("freeNode scrubbed a node while pooling was off")
+	}
+	SetNodePooling(true)
+	if !NodePooling() {
+		t.Fatal("SetNodePooling(true) did not re-enable pooling")
+	}
+}

@@ -102,11 +102,16 @@ func (e *Engine) flushAt(t float64) {
 	}
 	e.clock = t
 
-	waits := make([]float64, len(batch))
-	epss := make([]float64, len(batch))
-	radii := make([]float64, len(batch))
-	pxs := make([]float64, len(batch))
-	pys := make([]float64, len(batch))
+	// The whole flush working set lives in engine scratch, so steady-state
+	// windows allocate nothing here beyond first-window growth.
+	fs := &e.flush
+	n, ns := len(batch), len(e.shards)
+	fs.waits = grow(fs.waits, n)
+	fs.epss = grow(fs.epss, n)
+	fs.radii = grow(fs.radii, n)
+	fs.pxs = grow(fs.pxs, n)
+	fs.pys = grow(fs.pys, n)
+	waits, epss, radii, pxs, pys := fs.waits, fs.epss, fs.radii, fs.pxs, fs.pys
 	for i := range batch {
 		batch[i].Time = t // the whole window is matched at the flush instant
 		waits[i], epss[i] = e.shards[0].w.Budget(batch[i])
@@ -121,11 +126,14 @@ func (e *Engine) flushAt(t float64) {
 	// trials (each tree-mode trial a full candidate tree) instead of the
 	// per-shard bests alone, released request by request as phase 2
 	// consumes them.
-	p1 := make([][]phase1, len(batch))
-	durs := make([][]time.Duration, len(batch))
+	fs.p1flat = grow(fs.p1flat, n*ns)
+	fs.durflat = grow(fs.durflat, n*ns)
+	fs.p1 = grow(fs.p1, n)
+	fs.durs = grow(fs.durs, n)
+	p1, durs := fs.p1, fs.durs
 	for i := range p1 {
-		p1[i] = make([]phase1, len(e.shards))
-		durs[i] = make([]time.Duration, len(e.shards))
+		p1[i] = fs.p1flat[i*ns : (i+1)*ns]
+		durs[i] = fs.durflat[i*ns : (i+1)*ns]
 	}
 	phase1Start := time.Now()
 	e.parallel(func(s *shard) {
@@ -140,10 +148,11 @@ func (e *Engine) flushAt(t float64) {
 
 	// Phase 2: greedy arrival-order commits with incremental conflict
 	// repair.
-	dirty := make(map[int]bool)
-	dirtyIDs := make([][]int, len(e.shards)) // per-shard retrial sets (scratch)
-	fresh := make([]shardBest, len(e.shards))
-	needy := make([]*shard, 0, len(e.shards)) // shards with dirty candidates (scratch)
+	clear(fs.dirty)
+	dirty := fs.dirty
+	dirtyIDs := fs.dirtyIDs // per-shard retrial sets (scratch)
+	fresh := fs.fresh
+	needy := fs.needy[:0] // shards with dirty candidates (scratch)
 	for i, req := range batch {
 		e.metrics.Requests++
 		e.live.AddRequests(1)
@@ -161,7 +170,6 @@ func (e *Engine) flushAt(t float64) {
 			}
 		}
 		best, dirtyCount, trialed := planRequest(p1[i], dirty, dirtyIDs)
-		p1[i] = nil // retained trials for this request are consumed; release
 		if dirtyCount > 0 {
 			// Incremental repair: re-trial only the dirty candidates on
 			// their owning shards — usually one shard, run inline — and
@@ -196,14 +204,38 @@ func (e *Engine) flushAt(t float64) {
 			e.live.AddRejected(1)
 			e.ring.Emit(obs.KindRejected, req.ID, req.Time, -1)
 			e.assigned[req.ID] = -1
-			continue
+		} else {
+			s := e.shards[ShardIndex(int64(best.veh), len(e.shards))]
+			s.w.Commit(s.vehicle(best.veh), best.trial)
+			dirty[best.veh] = true
+			e.assigned[req.ID] = best.veh
+			e.ring.Emit(obs.KindMatched, req.ID, req.Time, int64(best.veh))
 		}
-		s := e.shards[ShardIndex(int64(best.veh), len(e.shards))]
-		s.w.Commit(s.vehicle(best.veh), best.trial)
-		dirty[best.veh] = true
-		e.assigned[req.ID] = best.veh
-		e.ring.Emit(obs.KindMatched, req.ID, req.Time, int64(best.veh))
+		// This request's retained trials (and any repair retrials) are
+		// consumed: sweep-release every candidate tree — the committed one
+		// was consumed by Commit, so its release is a no-op — and hand the
+		// retention buffers back to their shards for the next flush.
+		if dirtyCount > 0 {
+			for _, s := range needy {
+				fresh[s.id].trial.Release()
+				fresh[s.id] = shardBest{veh: -1}
+			}
+		}
+		for sid := range p1[i] {
+			p := &p1[i][sid]
+			for j := range p.feas {
+				p.feas[j].trial.Release()
+			}
+			if p.feas != nil {
+				clear(p.feas) // drop candidate pointers before pooling
+				e.shards[sid].feasFree = append(e.shards[sid].feasFree, p.feas[:0])
+			}
+			*p = phase1{}
+		}
 	}
+	fs.needy = needy[:0]
+	// Recycle the window's request buffer for the next Enqueue run.
+	e.pending = batch[:0]
 	e.metrics.FlushLatency.Record(time.Since(flushStart).Nanoseconds())
 	e.live.AddFlushes(1)
 }

@@ -1,0 +1,126 @@
+package dispatch
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestCityScaleEquivalence is the pooling/tuning half of the equivalence
+// story: assignments must be bit-identical to the sequential baseline with
+// node pooling on or off, at 1/4/8 workers, in immediate and batch mode,
+// and with auto-tuned sharding and cell size. Run under -race this also
+// shakes out any cross-goroutine reuse of a pooled node. The baseline is
+// computed with pooling disabled, so a pooled run that leaked stale state
+// into a recycled node would diverge from it.
+func TestCityScaleEquivalence(t *testing.T) {
+	g, factory, reqs := testWorld(t, 150)
+	defer core.SetNodePooling(true)
+
+	core.SetNodePooling(false)
+	seq, err := sim.New(baseConfig(g, factory, sim.AlgoTreeSlack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, len(reqs))
+	for i, r := range reqs {
+		matched, veh := seq.Submit(r)
+		if !matched {
+			veh = -1
+		}
+		want[i] = veh
+	}
+	seq.Drain()
+	if err := seq.CheckInvariants(); err != nil {
+		t.Fatalf("sequential baseline invariants: %v", err)
+	}
+
+	// Batch mode matches each window at its flush instant, so it has its
+	// own sequential baseline: the same greedy pass over the
+	// flush-stamped stream (still with pooling off).
+	const window = 20.0
+	ft := greedyFlushTimes(reqs, window)
+	seqB, err := sim.New(baseConfig(g, factory, sim.AlgoTreeSlack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBatch := make([]int, len(reqs))
+	for i, r := range reqs {
+		r.Time = ft[i]
+		matched, veh := seqB.Submit(r)
+		if !matched {
+			veh = -1
+		}
+		wantBatch[i] = veh
+	}
+
+	for _, pooling := range []bool{false, true} {
+		for _, workers := range []int{1, 4, 8} {
+			for _, mode := range []struct {
+				name  string
+				batch float64
+				tune  bool
+			}{
+				{"immediate", 0, false},
+				{"batch", window, false},
+				{"autotune", 0, true},
+			} {
+				core.SetNodePooling(pooling)
+				cfg := baseConfig(g, factory, sim.AlgoTreeSlack)
+				cfg.Workers = workers
+				cfg.Shards = workers
+				cfg.BatchWindow = mode.batch
+				if mode.tune {
+					cfg.Shards = 0 // let the tuner derive it
+					cfg.AutoTune = true
+				}
+				e, err := New(cfg, factory)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := func() string {
+					p := "pool=off"
+					if pooling {
+						p = "pool=on"
+					}
+					return p + " " + mode.name
+				}()
+				if mode.batch > 0 {
+					for _, r := range reqs {
+						e.Enqueue(r)
+					}
+					e.Flush()
+					for i, r := range reqs {
+						veh, ok := e.Assignment(r.ID)
+						if !ok {
+							t.Fatalf("%s workers=%d: request %d never resolved", label, workers, i)
+						}
+						if veh != wantBatch[i] {
+							t.Fatalf("%s workers=%d: request %d assigned to %d, baseline chose %d",
+								label, workers, i, veh, wantBatch[i])
+						}
+					}
+				} else {
+					for i, r := range reqs {
+						matched, veh := e.Submit(r)
+						if !matched {
+							veh = -1
+						}
+						if veh != want[i] {
+							t.Fatalf("%s workers=%d: request %d assigned to %d, baseline chose %d",
+								label, workers, i, veh, want[i])
+						}
+					}
+				}
+				if err := e.Drain(); err != nil {
+					t.Fatalf("%s workers=%d: drain: %v", label, workers, err)
+				}
+				if err := e.CheckInvariants(); err != nil {
+					t.Fatalf("%s workers=%d: invariants: %v", label, workers, err)
+				}
+				e.Close()
+			}
+		}
+	}
+}

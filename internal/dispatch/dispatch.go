@@ -28,7 +28,6 @@
 package dispatch
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -83,8 +82,45 @@ type Engine struct {
 	pending    []sim.Request
 	batchStart float64
 
+	// Distinct oracle stacks behind the shards, deduplicated once at
+	// construction (the shard oracles never change), so Metrics() does not
+	// rebuild the dedup set on every call.
+	cacheStatsers []sim.CacheStatser
+	latStatsers   []sim.CacheLatencyStatser
+
+	// Reusable scratch. The exported API is driven from one goroutine and
+	// the pool is quiescent between fan-outs, so per-call buffers can live
+	// on the engine instead of being remade per request/flush.
+	bests []shardBest // per-shard fan-out winners (Submit)
+	busy  []bool      // per-shard busy flags (Drain)
+	flush flushScratch
+
 	drainRoundCap int   // test hook; 0 selects sim.DefaultDrainRoundCap
 	drainErr      error // sticky Drain truncation error, surfaced by CheckInvariants
+}
+
+// flushScratch is the per-flush working set of batch.go, reused across
+// windows so a steady request stream allocates nothing per flush beyond
+// first-window growth.
+type flushScratch struct {
+	waits, epss, radii, pxs, pys []float64
+	p1                           [][]phase1 // rows into p1flat
+	p1flat                       []phase1
+	durs                         [][]time.Duration // rows into durflat
+	durflat                      []time.Duration
+	dirty                        map[int]bool
+	dirtyIDs                     [][]int
+	fresh                        []shardBest
+	needy                        []*shard
+}
+
+// grow returns s resized to n elements, reusing its backing array when
+// large enough. Contents are unspecified; callers overwrite every element.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // shard owns a partition of the fleet. All of a shard's state is touched by
@@ -96,10 +132,24 @@ type shard struct {
 	w        *sim.Worker
 	grid     *spatial.GridIndex
 	vehicles []*sim.Vehicle // local slice; global ID = local*nshards + id
-	reports  reportQueue
+	reports  sim.ReportHeap
 	cand     []spatial.ObjectID // scratch
+	feasFree [][]vehTrial       // recycled phase-1 retention buffers
 	ring     *obs.Ring          // per-shard trial events; single-writer because
 	// the pool runs at most one task per shard and fan-outs are serialized
+}
+
+// feasBuf pops a recycled phase-1 retention buffer (nil when none are
+// free). Buffers are returned by the batch planner after it consumes a
+// request's retained trials; the handoff is race-free because the planner
+// runs between fan-outs, when the pool is quiescent.
+func (s *shard) feasBuf() []vehTrial {
+	if n := len(s.feasFree); n > 0 {
+		b := s.feasFree[n-1]
+		s.feasFree = s.feasFree[:n-1]
+		return b
+	}
+	return nil
 }
 
 // vehicle returns the shard's vehicle with the given global ID.
@@ -129,7 +179,11 @@ func New(cfg sim.Config, oracles OracleFactory) (*Engine, error) {
 	}
 	nshards := cfg.Shards
 	if nshards <= 0 {
-		nshards = workers
+		if cfg.AutoTune {
+			nshards = sim.DeriveShards(cfg.Servers, workers)
+		} else {
+			nshards = workers
+		}
 	}
 	if nshards > cfg.Servers {
 		nshards = cfg.Servers
@@ -177,8 +231,16 @@ func New(cfg sim.Config, oracles OracleFactory) (*Engine, error) {
 		s.vehicles = append(s.vehicles, v)
 		x, y := cfg.Graph.Coord(p.Loc)
 		s.grid.Insert(spatial.ObjectID(i), x, y)
-		heap.Push(&s.reports, report{due: p.FirstReport, veh: i})
+		s.reports.Push(sim.Report{Due: p.FirstReport, Veh: i})
 	}
+	e.metrics.SetTuning(nshards, e.shards[0].w.CellSize(), cfg.AutoTune)
+	e.bests = make([]shardBest, nshards)
+	e.busy = make([]bool, nshards)
+	e.flush.dirty = make(map[int]bool)
+	e.flush.dirtyIDs = make([][]int, nshards)
+	e.flush.fresh = make([]shardBest, nshards)
+	e.flush.needy = make([]*shard, 0, nshards)
+	e.dedupStatsers()
 	if workers > 1 {
 		e.tasks = make(chan func(), nshards)
 		for i := 0; i < workers; i++ {
@@ -241,38 +303,19 @@ func (e *Engine) parallelOn(shards []*shard, fn func(s *shard)) {
 	wg.Wait()
 }
 
-// report is a scheduled vehicle position report, as in sim.
-type report struct {
-	due float64
-	veh int
-}
-
-// reportQueue is a min-heap on due time (container/heap).
-type reportQueue []report
-
-func (q reportQueue) Len() int           { return len(q) }
-func (q reportQueue) Less(i, j int) bool { return q[i].due < q[j].due }
-func (q reportQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *reportQueue) Push(x any)        { *q = append(*q, x.(report)) }
-func (q *reportQueue) Pop() any {
-	old := *q
-	it := old[len(old)-1]
-	*q = old[:len(old)-1]
-	return it
-}
-
 // drainReportsUntil advances the shard's vehicles whose position report is
 // due before t and refreshes their index entries, exactly as the sequential
-// simulator does fleet-wide.
+// simulator does fleet-wide. Due vehicles are rescheduled in place with
+// ReplaceMin, so the loop allocates nothing.
 func (s *shard) drainReportsUntil(g *sim.Config, t float64) {
 	interval := s.w.ReportInterval()
-	for len(s.reports) > 0 && s.reports[0].due <= t {
-		r := heap.Pop(&s.reports).(report)
-		v := s.vehicle(r.veh)
-		s.w.AdvanceTo(v, r.due)
+	for s.reports.Len() > 0 && s.reports.Min().Due <= t {
+		r := s.reports.Min()
+		v := s.vehicle(r.Veh)
+		s.w.AdvanceTo(v, r.Due)
 		x, y := g.Graph.Coord(v.Loc())
-		s.grid.Update(spatial.ObjectID(r.veh), x, y)
-		heap.Push(&s.reports, report{due: r.due + interval, veh: r.veh})
+		s.grid.Update(spatial.ObjectID(r.Veh), x, y)
+		s.reports.ReplaceMin(sim.Report{Due: r.Due + interval, Veh: r.Veh})
 	}
 }
 
@@ -299,7 +342,10 @@ func (s *shard) trial(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps,
 			continue
 		}
 		if b := (shardBest{veh: int(id), trial: tr}); better(b, best) {
+			best.trial.Release() // dethroned candidate will never commit
 			best = b
+		} else {
+			tr.Release()
 		}
 	}
 	s.ring.Emit(obs.KindTrialed, req.ID, req.Time, int64(len(s.cand)))
@@ -330,7 +376,7 @@ func (s *shard) trialRetain(cfg *sim.Config, req sim.Request, px, py, waitMeters
 	s.drainReportsUntil(cfg, req.Time)
 	s.cand = s.grid.Within(s.cand[:0], px, py, radius)
 	before := s.w.Metrics().TrialCalls
-	var feas []vehTrial
+	feas := s.feasBuf()
 	for _, id := range s.cand {
 		v := s.vehicle(int(id))
 		s.w.AdvanceTo(v, req.Time)
@@ -356,7 +402,10 @@ func (s *shard) retrial(cfg *sim.Config, req sim.Request, px, py, waitMeters, ep
 			continue
 		}
 		if b := (shardBest{veh: id, trial: tr}); better(b, best) {
+			best.trial.Release() // dethroned candidate will never commit
 			best = b
+		} else {
+			tr.Release()
 		}
 	}
 	return best
@@ -406,12 +455,23 @@ func (e *Engine) Submit(req sim.Request) (matched bool, vehID int) {
 	px, py := e.cfg.Graph.Coord(req.Pickup)
 
 	started := time.Now()
-	bests := make([]shardBest, len(e.shards))
 	e.parallel(func(s *shard) {
-		bests[s.id] = s.trial(&e.cfg, req, px, py, waitMeters, eps, radius)
+		e.bests[s.id] = s.trial(&e.cfg, req, px, py, waitMeters, eps, radius)
 	})
-	best := reduce(bests)
+	best := reduce(e.bests)
 	e.metrics.AddACRT(time.Since(started))
+
+	if best.veh >= 0 {
+		s := e.shards[ShardIndex(int64(best.veh), len(e.shards))]
+		s.w.Commit(s.vehicle(best.veh), best.trial)
+	}
+	// Losing shard winners will never commit; the committed trial's
+	// candidate was consumed above, so its release is a no-op. Entries are
+	// zeroed so the scratch buffer retains no candidate pointers.
+	for i := range e.bests {
+		e.bests[i].trial.Release()
+		e.bests[i] = shardBest{veh: -1}
+	}
 
 	if best.veh < 0 {
 		e.metrics.Rejected++
@@ -420,8 +480,6 @@ func (e *Engine) Submit(req sim.Request) (matched bool, vehID int) {
 		e.assigned[req.ID] = -1
 		return false, -1
 	}
-	s := e.shards[ShardIndex(int64(best.veh), len(e.shards))]
-	s.w.Commit(s.vehicle(best.veh), best.trial)
 	e.ring.Emit(obs.KindMatched, req.ID, req.Time, int64(best.veh))
 	e.assigned[req.ID] = best.veh
 	return true, best.veh
@@ -467,7 +525,7 @@ func (e *Engine) Drain() error {
 	if rounds <= 0 {
 		rounds = sim.DefaultDrainRoundCap
 	}
-	busy := make([]bool, len(e.shards))
+	busy := e.busy
 	idle := false
 	for round := 0; round < rounds && !idle; round++ {
 		e.clock += sim.DrainStep
@@ -529,13 +587,16 @@ func (e *Engine) Metrics() *sim.Metrics {
 	return out
 }
 
-// distLatency merges the sampled distance-lookup latency over the distinct
-// cache stacks behind the shard oracles, with the same dedup rules as
-// cacheStats (a cache.SharedWorker resolves to its fleet-wide stack, which
-// aggregates every facade). Quiescent-only, like cacheStats.
-func (e *Engine) distLatency() (hit, miss *obs.Histogram) {
-	hit, miss = obs.NewHistogram(), obs.NewHistogram()
-	seen := make(map[sim.CacheLatencyStatser]bool, len(e.shards))
+// dedupStatsers resolves the distinct cache stacks behind the shard
+// oracles once, at construction: a cache.SharedWorker facade resolves to
+// its fleet-wide stack (which aggregates every facade), and stacks shared
+// by several shards (one cache.Shared, or one oracle instance reused
+// across shards) are recorded once, in shard order. The shard oracles
+// never change, so Metrics()/distLatency()/cacheStats() can walk these
+// lists instead of rebuilding the dedup set per call.
+func (e *Engine) dedupStatsers() {
+	seenLat := make(map[sim.CacheLatencyStatser]bool, len(e.shards))
+	seenCS := make(map[sim.CacheStatser]bool, len(e.shards))
 	for _, s := range e.shards {
 		o := s.w.Oracle()
 		var cls sim.CacheLatencyStatser
@@ -543,13 +604,31 @@ func (e *Engine) distLatency() (hit, miss *obs.Histogram) {
 			cls = w.Shared()
 		} else if c, ok := o.(sim.CacheLatencyStatser); ok {
 			cls = c
-		} else {
-			continue
 		}
-		if seen[cls] {
-			continue
+		if cls != nil && !seenLat[cls] {
+			seenLat[cls] = true
+			e.latStatsers = append(e.latStatsers, cls)
 		}
-		seen[cls] = true
+		var cs sim.CacheStatser
+		if w, ok := o.(*cache.SharedWorker); ok {
+			cs = w.Shared() // aggregates the striped cache and all facades
+		} else if c, ok := o.(sim.CacheStatser); ok {
+			cs = c
+		}
+		if cs != nil && !seenCS[cs] {
+			seenCS[cs] = true
+			e.cacheStatsers = append(e.cacheStatsers, cs)
+		}
+	}
+}
+
+// distLatency merges the sampled distance-lookup latency over the distinct
+// cache stacks behind the shard oracles (deduplicated at construction by
+// dedupStatsers). Must be called from the driving goroutine between
+// fan-outs, when the shards are quiescent.
+func (e *Engine) distLatency() (hit, miss *obs.Histogram) {
+	hit, miss = obs.NewHistogram(), obs.NewHistogram()
+	for _, cls := range e.latStatsers {
 		h, m := cls.DistLatency()
 		hit.Merge(h)
 		miss.Merge(m)
@@ -558,27 +637,10 @@ func (e *Engine) distLatency() (hit, miss *obs.Histogram) {
 }
 
 // cacheStats sums hit/miss counters over the distinct cache stacks behind
-// the shard oracles. A cache.SharedWorker facade resolves to its fleet-wide
-// stack, and stacks shared by several shards (one cache.Shared, or one
-// oracle instance reused across shards) are counted once. Must be called
-// from the driving goroutine between fan-outs, when the shards are
-// quiescent.
+// the shard oracles (deduplicated at construction by dedupStatsers).
+// Quiescent-only, like distLatency.
 func (e *Engine) cacheStats() (distHits, distMisses, pathHits, pathMisses uint64) {
-	seen := make(map[sim.CacheStatser]bool, len(e.shards))
-	for _, s := range e.shards {
-		o := s.w.Oracle()
-		var cs sim.CacheStatser
-		if w, ok := o.(*cache.SharedWorker); ok {
-			cs = w.Shared() // aggregates the striped cache and all facades
-		} else if c, ok := o.(sim.CacheStatser); ok {
-			cs = c
-		} else {
-			continue
-		}
-		if seen[cs] {
-			continue
-		}
-		seen[cs] = true
+	for _, cs := range e.cacheStatsers {
 		dh, dm := cs.DistStats()
 		ph, pm := cs.PathStats()
 		distHits += dh

@@ -182,6 +182,10 @@ func New(cfg Config) *Gateway {
 	for i := 0; i < cfg.Queues; i++ {
 		g.queues = append(g.queues, newQueue(cfg.Depth))
 	}
+	// The drainer's merge heap holds at most one full sweep of every
+	// queue; sizing it up front keeps push from growing the backing
+	// array request by request on the drain hot path.
+	g.heap = make(stampHeap, 0, cfg.Queues*cfg.Depth)
 	return g
 }
 

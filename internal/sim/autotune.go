@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// Auto-tuning derives the two capacity knobs that city-scale runs must
+// otherwise hand-pick: the spatial-index cell size and the dispatch shard
+// count. Both derivations are pure functions of the fleet size and the
+// graph extent, so a fixed (graph, fleet) pair always tunes identically —
+// and neither knob affects matching decisions (the grid returns a superset
+// that the worker filters exactly, and shard count is equivalence-proven),
+// so tuning changes throughput, never assignments.
+
+// DefaultCellSize is the static spatial-index cell size (meters) used when
+// auto-tuning is off and no explicit size is configured.
+const DefaultCellSize = 1000
+
+const (
+	// AutoMinCellSize and AutoMaxCellSize clamp the derived cell size.
+	// The floor keeps tiny dense fleets from degrading the index into
+	// per-vehicle cells (whose walk overhead beats any filtering win);
+	// the ceiling keeps sparse fleets on huge maps from collapsing the
+	// index into one cell that every query must scan.
+	AutoMinCellSize = 50.0
+	AutoMaxCellSize = 5000.0
+
+	// autoVehPerCell is the target mean vehicle population per grid cell.
+	// A candidate query scans the cells under its radius disk; a few
+	// vehicles per cell keeps that scan dense (little empty-cell
+	// overhead) without making per-cell membership updates expensive.
+	autoVehPerCell = 4
+
+	// autoVehPerShard is the target fleet slice per dispatch shard beyond
+	// which extra shards are added over the worker count. 4096 vehicles
+	// keeps a shard's trial fan-out chunk large enough to amortize task
+	// handoff while letting 100k-vehicle fleets spread past a small
+	// worker pool for finer load balancing.
+	autoVehPerShard = 4096
+)
+
+func clampCell(c float64) float64 {
+	if c < AutoMinCellSize {
+		return AutoMinCellSize
+	}
+	if c > AutoMaxCellSize {
+		return AutoMaxCellSize
+	}
+	return c
+}
+
+// DeriveCellSize returns the auto-tuned spatial-index cell size in meters
+// for a fleet of the given size on g: the size at which a uniformly spread
+// fleet averages autoVehPerCell vehicles per cell, clamped to
+// [AutoMinCellSize, AutoMaxCellSize]. It is deterministic in (g, servers)
+// and always positive: degenerate extents (nil graph, empty or
+// single-vertex graphs, collinear vertices) fall back to DefaultCellSize
+// or a 1-D corridor derivation rather than returning zero.
+func DeriveCellSize(g *roadnet.Graph, servers int) float64 {
+	if g == nil || servers <= 0 {
+		return DefaultCellSize
+	}
+	minX, minY, maxX, maxY := g.Bounds()
+	w, h := maxX-minX, maxY-minY
+	area := w * h
+	if area <= 0 {
+		// Collinear or single-point extent: the grid is effectively one
+		// row of cells, so size cells along the corridor instead.
+		span := math.Max(w, h)
+		if span <= 0 {
+			return DefaultCellSize
+		}
+		return clampCell(span * autoVehPerCell / float64(servers))
+	}
+	return clampCell(math.Sqrt(area * autoVehPerCell / float64(servers)))
+}
+
+// DeriveShards returns the auto-tuned dispatch shard count for a fleet of
+// the given size matched by the given worker-pool size: one shard per
+// autoVehPerShard vehicles, never fewer than the workers (each worker
+// always has a shard to run) and never more than 4x the workers (beyond
+// that, fan-out task overhead outweighs the load-balancing win), capped at
+// one shard per vehicle. Deterministic in (servers, workers) and always
+// at least 1.
+func DeriveShards(servers, workers int) int {
+	if workers <= 0 {
+		workers = 1
+	}
+	s := (servers + autoVehPerShard - 1) / autoVehPerShard
+	if s < workers {
+		s = workers
+	}
+	if max := 4 * workers; s > max {
+		s = max
+	}
+	if servers > 0 && s > servers {
+		s = servers
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -104,6 +104,23 @@ type Metrics struct {
 	// IngressWait is the distribution of wall time (ns) each admitted
 	// request spent in the gateway, admission to handoff.
 	IngressWait *obs.Histogram
+
+	// Engine-capacity parameters the run actually used — derived when
+	// Config.AutoTune is set, configured otherwise. The engines record
+	// them at construction; shard-local metrics leave them zero, and
+	// Merge keeps the maximum so aggregation never erases them.
+	AutoTuned     bool    // Config.AutoTune was set
+	TunedShards   int     // fleet partition count (1 for the sequential Simulator)
+	TunedCellSize float64 // spatial-index cell size in meters
+}
+
+// SetTuning records the capacity parameters the engine resolved at
+// construction (shard count, spatial-index cell size, and whether they
+// were auto-derived) so snapshots and summaries can report them.
+func (m *Metrics) SetTuning(shards int, cellSize float64, auto bool) {
+	m.TunedShards = shards
+	m.TunedCellSize = cellSize
+	m.AutoTuned = auto
 }
 
 // CacheStatser is implemented by caching oracle stacks that report
@@ -230,6 +247,13 @@ func (m *Metrics) Merge(o *Metrics) {
 		m.IngressQueuePeak = o.IngressQueuePeak
 	}
 	m.IngressWait.Merge(o.IngressWait)
+	m.AutoTuned = m.AutoTuned || o.AutoTuned
+	if o.TunedShards > m.TunedShards {
+		m.TunedShards = o.TunedShards
+	}
+	if o.TunedCellSize > m.TunedCellSize {
+		m.TunedCellSize = o.TunedCellSize
+	}
 }
 
 // Shed is the total number of requests the ingress gateway dropped, over
@@ -376,6 +400,10 @@ type Snapshot struct {
 	IngressWaitP99Ns   int64 `json:"ingress_wait_p99_ns"`
 	IngressWaitSamples int   `json:"ingress_wait_samples"`
 
+	AutoTuned     bool    `json:"auto_tuned"`
+	TunedShards   int     `json:"tuned_shards"`
+	TunedCellSize float64 `json:"tuned_cell_size_m"`
+
 	// Stage-latency digests (count/mean/p50/p90/p99/max) from the
 	// streaming histograms.
 	MatchLatencyNs  obs.Summary `json:"match_latency_ns"`
@@ -435,6 +463,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		IngressWaitMeanNs:  m.IngressWaitMean().Nanoseconds(),
 		IngressWaitP99Ns:   m.IngressWaitP99().Nanoseconds(),
 		IngressWaitSamples: int(m.IngressWait.Count()),
+
+		AutoTuned:     m.AutoTuned,
+		TunedShards:   m.TunedShards,
+		TunedCellSize: m.TunedCellSize,
 
 		MatchLatencyNs:  m.MatchLatency.Summary(),
 		FlushLatencyNs:  m.FlushLatency.Summary(),

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -83,6 +82,16 @@ type Config struct {
 	ReportInterval float64 // seconds between vehicle position reports (default 30)
 	CellSize       float64 // spatial-index cell size in meters (default 1000)
 
+	// AutoTune derives the capacity knobs left unset from the fleet size
+	// and graph extent instead of using the static defaults: CellSize via
+	// DeriveCellSize when zero, and the dispatch engine's shard count via
+	// DeriveShards when Shards is zero. Explicitly set values always win.
+	// Tuning never changes matching decisions — the grid's candidate
+	// superset is exactly filtered and shard count is equivalence-proven
+	// — only throughput. The values actually used are surfaced in
+	// Metrics (TunedShards, TunedCellSize).
+	AutoTune bool
+
 	Seed int64
 
 	// Workers, Shards, and BatchWindow configure the sharded concurrent
@@ -124,7 +133,11 @@ func (c *Config) withDefaults() Config {
 		out.ReportInterval = 30
 	}
 	if out.CellSize == 0 {
-		out.CellSize = 1000
+		if out.AutoTune {
+			out.CellSize = DeriveCellSize(out.Graph, out.Servers)
+		} else {
+			out.CellSize = DefaultCellSize
+		}
 	}
 	if out.MIPTimeBudget == 0 {
 		out.MIPTimeBudget = 50 * time.Millisecond
@@ -147,7 +160,7 @@ type Simulator struct {
 	vehicles   []*Vehicle
 	metrics    *Metrics
 	clock      float64
-	reports    reportQueue
+	reports    ReportHeap
 	candidates []spatial.ObjectID // scratch
 	ring       *obs.Ring          // lifecycle events (nil = tracing off)
 	live       *obs.Live          // live counters (nil = off)
@@ -182,6 +195,7 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	metrics := newMetrics()
+	metrics.SetTuning(1, cfg.CellSize, cfg.AutoTune)
 	s := &Simulator{
 		cfg:     cfg,
 		graph:   cfg.Graph,
@@ -199,7 +213,7 @@ func New(cfg Config) (*Simulator, error) {
 		x, y := cfg.Graph.Coord(v.loc)
 		s.grid.Insert(spatial.ObjectID(i), x, y)
 		// Stagger position reports across the fleet.
-		heap.Push(&s.reports, report{due: p.FirstReport, veh: i})
+		s.reports.Push(Report{Due: p.FirstReport, Veh: i})
 	}
 	return s, nil
 }
@@ -223,36 +237,18 @@ func (s *Simulator) Metrics() *Metrics {
 // exercise it directly.
 func (s *Simulator) advanceTo(v *Vehicle, t float64) { s.w.AdvanceTo(v, t) }
 
-// report is a scheduled vehicle position report ("around 17,000 taxis
-// update their locations every 20 to 60 seconds", §IV).
-type report struct {
-	due float64
-	veh int
-}
-
-type reportQueue []report
-
-func (q reportQueue) Len() int           { return len(q) }
-func (q reportQueue) Less(i, j int) bool { return q[i].due < q[j].due }
-func (q reportQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *reportQueue) Push(x any)        { *q = append(*q, x.(report)) }
-func (q *reportQueue) Pop() any {
-	old := *q
-	it := old[len(old)-1]
-	*q = old[:len(old)-1]
-	return it
-}
-
 // drainReportsUntil advances all vehicles whose position report is due
-// before time t and refreshes their index entries.
+// before time t and refreshes their index entries. Each due vehicle is
+// rescheduled in place with ReplaceMin, so the loop touches no heap
+// storage beyond the existing backing array.
 func (s *Simulator) drainReportsUntil(t float64) {
-	for len(s.reports) > 0 && s.reports[0].due <= t {
-		r := heap.Pop(&s.reports).(report)
-		v := s.vehicles[r.veh]
-		s.w.AdvanceTo(v, r.due)
+	for s.reports.Len() > 0 && s.reports.Min().Due <= t {
+		r := s.reports.Min()
+		v := s.vehicles[r.Veh]
+		s.w.AdvanceTo(v, r.Due)
 		x, y := s.graph.Coord(v.loc)
-		s.grid.Update(spatial.ObjectID(r.veh), x, y)
-		heap.Push(&s.reports, report{due: r.due + s.cfg.ReportInterval, veh: r.veh})
+		s.grid.Update(spatial.ObjectID(r.Veh), x, y)
+		s.reports.ReplaceMin(Report{Due: r.Due + s.cfg.ReportInterval, Veh: r.Veh})
 	}
 }
 
@@ -289,8 +285,11 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 			continue
 		}
 		if bestVeh < 0 || tr.Cost < best.Cost {
+			best.Release() // dethroned candidate will never commit
 			best = tr
 			bestVeh = int(id)
+		} else {
+			tr.Release()
 		}
 	}
 	s.metrics.recordACRT(time.Since(started))

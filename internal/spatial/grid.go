@@ -8,7 +8,7 @@ package spatial
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -25,12 +25,18 @@ type ObjectID int32
 // from one goroutine at a time — the lock is uncontended there — but the
 // index no longer relies on it, so a concurrent front door can consult
 // fleet positions while position reports relocate vehicles.
+// Cells are sorted ID slices rather than maps: queries dominate the
+// workload (every request scans the cells under its candidate disk, while
+// the index mutates only on cell crossings), and a slice walk appends in
+// order with no map-iteration overhead and no per-query closure for a
+// sort. Membership updates pay an O(cell population) shift, which stays
+// cheap because cell populations are bounded by the auto-tuned cell size.
 type GridIndex struct {
 	mu         sync.RWMutex
 	minX, minY float64
 	cellSize   float64
 	cols, rows int
-	cells      []map[ObjectID]struct{}
+	cells      [][]ObjectID
 	loc        map[ObjectID]int // object -> cell index
 	moves      uint64           // cell-crossing updates, for stats
 	updates    uint64           // total Update calls
@@ -53,7 +59,7 @@ func NewGridIndex(minX, minY, maxX, maxY, cellSize float64) (*GridIndex, error) 
 		cellSize: cellSize,
 		cols:     cols,
 		rows:     rows,
-		cells:    make([]map[ObjectID]struct{}, cols*rows),
+		cells:    make([][]ObjectID, cols*rows),
 		loc:      make(map[ObjectID]int),
 	}
 	return g, nil
@@ -93,11 +99,26 @@ func (g *GridIndex) Insert(id ObjectID, x, y float64) {
 		return
 	}
 	c := g.cellOf(x, y)
-	if g.cells[c] == nil {
-		g.cells[c] = make(map[ObjectID]struct{})
-	}
-	g.cells[c][id] = struct{}{}
+	g.cellInsert(c, id)
 	g.loc[id] = c
+}
+
+// cellInsert adds id to cell c, keeping the cell sorted.
+func (g *GridIndex) cellInsert(c int, id ObjectID) {
+	cell := g.cells[c]
+	i, _ := slices.BinarySearch(cell, id)
+	cell = append(cell, 0)
+	copy(cell[i+1:], cell[i:])
+	cell[i] = id
+	g.cells[c] = cell
+}
+
+// cellRemove deletes id from cell c if present.
+func (g *GridIndex) cellRemove(c int, id ObjectID) {
+	cell := g.cells[c]
+	if i, ok := slices.BinarySearch(cell, id); ok {
+		g.cells[c] = append(cell[:i], cell[i+1:]...)
+	}
 }
 
 // Update moves an object to (x, y). The index mutates only when the object
@@ -118,12 +139,9 @@ func (g *GridIndex) update(id ObjectID, x, y float64) {
 		return
 	}
 	if ok {
-		delete(g.cells[old], id)
+		g.cellRemove(old, id)
 	}
-	if g.cells[c] == nil {
-		g.cells[c] = make(map[ObjectID]struct{})
-	}
-	g.cells[c][id] = struct{}{}
+	g.cellInsert(c, id)
 	g.loc[id] = c
 	g.moves++
 }
@@ -133,7 +151,7 @@ func (g *GridIndex) Remove(id ObjectID) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if c, ok := g.loc[id]; ok {
-		delete(g.cells[c], id)
+		g.cellRemove(c, id)
 		delete(g.loc, id)
 	}
 }
@@ -174,14 +192,15 @@ func (g *GridIndex) Within(dst []ObjectID, x, y, r float64) []ObjectID {
 	}
 	for cy := cy0; cy <= cy1; cy++ {
 		for cx := cx0; cx <= cx1; cx++ {
-			for id := range g.cells[cy*g.cols+cx] {
-				dst = append(dst, id)
-			}
+			dst = append(dst, g.cells[cy*g.cols+cx]...)
 		}
 	}
-	// Cells are map-backed, so the raw walk is in random order.
-	appended := dst[start:]
-	sort.Slice(appended, func(i, j int) bool { return appended[i] < appended[j] })
+	if cy1 == cy0 && cx1 == cx0 {
+		return dst // a single sorted cell: already in order
+	}
+	// Each cell is sorted, so the appended run is a small number of sorted
+	// runs; the pattern-defeating sort exploits that.
+	slices.Sort(dst[start:])
 	return dst
 }
 
