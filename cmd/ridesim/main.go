@@ -16,12 +16,21 @@
 // With -producers N the request stream enters through the concurrent
 // ingress gateway (internal/ingest): N producer goroutines submit into
 // per-shard bounded queues (-queue-depth) under the chosen backpressure
-// policy (-shed-policy block|shed-oldest|deadline), and the stamped-order
-// drain feeds the engine. -arrival poisson|surge|hotspot replaces the
+// policy (-shed-policy block|shed-oldest|deadline|adaptive), and the
+// stamped-order drain feeds the engine. The adaptive policy runs the
+// SLO-driven admission controller: -slo sets the wall-clock residence
+// target it defends. -arrival poisson|surge|hotspot replaces the
 // replayed trace with the streaming open-loop generator
 // (internal/workload); combined with -producers the stream is generated
 // and served live rather than materialized. The end-of-run summary gains
 // an ingress line (admitted/shed/queue peak/p99 ingress wait).
+//
+// -fault-plan <name> arms the deterministic fault-injection harness
+// (internal/faults) across all three seams — producer crashes/skew/
+// bursts, worker stalls, oracle latency spikes and transient errors
+// behind the bounded-retry facade — and prints an injection summary.
+// Plans are seed-deterministic: the same plan and workload injects the
+// same faults every run.
 package main
 
 import (
@@ -30,11 +39,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/dispatch"
 	"repro/internal/exp"
+	"repro/internal/faults"
 	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
@@ -72,6 +83,8 @@ type options struct {
 	producers    int
 	queueDepth   int
 	shedPolicy   string
+	slo          time.Duration
+	faultPlan    string
 	arrival      string
 	obsAddr      string
 	obsInterval  time.Duration
@@ -105,7 +118,9 @@ func main() {
 	flag.IntVar(&o.cacheStripes, "cache-stripes", 0, "stripe count of the shared distance cache (0 = default, dispatch engine only)")
 	flag.IntVar(&o.producers, "producers", 0, "concurrent request producers; >0 routes the stream through the ingress gateway")
 	flag.IntVar(&o.queueDepth, "queue-depth", 256, "per-shard ingress queue capacity")
-	flag.StringVar(&o.shedPolicy, "shed-policy", "block", "ingress backpressure policy: block, shed-oldest, deadline")
+	flag.StringVar(&o.shedPolicy, "shed-policy", "block", "ingress backpressure policy: block, shed-oldest, deadline, adaptive")
+	flag.DurationVar(&o.slo, "slo", 500*time.Millisecond, "wall-clock ingress residence SLO defended by the adaptive admission controller")
+	flag.StringVar(&o.faultPlan, "fault-plan", "", "deterministic fault-injection plan: none, "+strings.Join(faults.PlanNames(), ", "))
 	flag.StringVar(&o.arrival, "arrival", "", "streaming workload pattern: poisson, surge, hotspot (default: replay the built trace)")
 	flag.StringVar(&o.obsAddr, "obs-addr", "", "serve live /metrics JSON and /debug/pprof on this address (e.g. localhost:6060, :0)")
 	flag.DurationVar(&o.obsInterval, "obs-interval", 0, "write interval progress snapshots to stderr as JSON lines (0 = off)")
@@ -279,6 +294,27 @@ func run(o options) error {
 		return err
 	}
 
+	// -fault-plan arms the injector. Its oracle hooks sit ABOVE the cache
+	// facades (an injected failure must never poison a cache entry) inside
+	// the bounded-retry facade; worker hooks ride cfg.Faults; producer
+	// hooks are handed out by DriveInjected. A nil injector leaves every
+	// seam bit-identical to the unhooked pipeline.
+	plan, err := faults.ParsePlan(o.faultPlan)
+	if err != nil {
+		return err
+	}
+	var inj *faults.Injector
+	if plan.Enabled() {
+		inj = faults.New(plan)
+	}
+	retryOpts := sp.RetryOptions{Seed: uint64(o.seed)}
+	wrapFault := func(oracle sp.Oracle) sp.Oracle {
+		if inj == nil {
+			return oracle
+		}
+		return faults.WrapOracle(oracle, inj.Oracle(), retryOpts)
+	}
+
 	cfg := sim.Config{
 		Graph:            g,
 		Servers:          o.servers,
@@ -295,9 +331,11 @@ func run(o options) error {
 		AutoTune:         o.autoTune,
 		Trace:            tracer,
 		Live:             live,
+		Faults:           inj,
 	}
 
 	var m *sim.Metrics
+	var ds ingest.DriveStats
 	var wall time.Duration
 	// Allocation accounting for the tuning summary: deltas cover engine
 	// construction plus the run.
@@ -307,14 +345,21 @@ func run(o options) error {
 		var eng *dispatch.Engine
 		if cached {
 			// One fleet-wide shared distance cache; each shard gets a
-			// facade with a private path cache and inner engine.
-			cfg.Oracle = cache.NewShared(engine, g.N(), o.distEntries, o.pathEntries, o.cacheStripes)
-			eng, err = dispatch.New(cfg, nil)
+			// facade with a private path cache and inner engine. The fault
+			// wrap goes around each shard's facade, not the backend, so a
+			// degraded lookup can never poison a cache entry.
+			shared := cache.NewShared(engine, g.N(), o.distEntries, o.pathEntries, o.cacheStripes)
+			cfg.Oracle = shared
+			if inj != nil {
+				eng, err = dispatch.New(cfg, func() sp.Oracle { return wrapFault(shared.NewWorkerOracle()) })
+			} else {
+				eng, err = dispatch.New(cfg, nil)
+			}
 		} else {
 			// Uncached backends supply one oracle per shard; for a
 			// SharedOracle backend (hublabels) every call returns the
 			// same safely-shared instance.
-			eng, err = dispatch.New(cfg, dispatch.OracleFactory(engine))
+			eng, err = dispatch.New(cfg, func() sp.Oracle { return wrapFault(engine()) })
 		}
 		if err != nil {
 			return err
@@ -325,7 +370,7 @@ func run(o options) error {
 				eng.Workers(), eng.Shards(), o.batchWin)
 		}
 		if o.producers > 0 {
-			m, wall, err = runGateway(o, eng.Shards(), cfg.WaitSeconds, tracer, live, src,
+			m, ds, wall, err = runGateway(o, inj, eng.Shards(), cfg.WaitSeconds, tracer, live, src,
 				func(r sim.Request) { eng.Enqueue(r) },
 				func() error { eng.Flush(); return eng.Drain() },
 				eng.Metrics)
@@ -345,16 +390,16 @@ func run(o options) error {
 		}
 	} else {
 		if cached {
-			cfg.Oracle = cache.New(engine(), g.N(), o.distEntries, o.pathEntries)
+			cfg.Oracle = wrapFault(cache.New(engine(), g.N(), o.distEntries, o.pathEntries))
 		} else {
-			cfg.Oracle = engine()
+			cfg.Oracle = wrapFault(engine())
 		}
 		s, err := sim.New(cfg)
 		if err != nil {
 			return err
 		}
 		if o.producers > 0 {
-			m, wall, err = runGateway(o, 1, cfg.WaitSeconds, tracer, live, src,
+			m, ds, wall, err = runGateway(o, inj, 1, cfg.WaitSeconds, tracer, live, src,
 				func(r sim.Request) { s.Submit(r) },
 				s.Drain,
 				s.Metrics)
@@ -430,11 +475,22 @@ func run(o options) error {
 			m.ConflictsRepaired, m.RetrialTrialsSaved)
 	}
 	if o.producers > 0 {
-		fmt.Printf("ingress: %d producers, policy %s, queue depth %d; admitted %d, shed %d (overflow %d, deadline %d); queue peak %d; wait mean %v p99 %v\n",
+		fmt.Printf("ingress: %d producers, policy %s, queue depth %d; admitted %d, shed %d (overflow %d, deadline %d, adaptive %d); queue peak %d; wait mean %v p99 %v\n",
 			o.producers, o.shedPolicy, o.queueDepth,
-			m.Admitted, m.Shed(), m.ShedOverflow, m.ShedDeadline,
+			m.Admitted, m.Shed(), m.ShedOverflow, m.ShedDeadline, m.ShedAdaptive,
 			m.IngressQueuePeak,
 			m.IngressWaitMean().Round(time.Microsecond), m.IngressWaitP99().Round(time.Microsecond))
+		if o.shedPolicy == "adaptive" {
+			fmt.Printf("admission: SLO %v; shed level peak %d‰, %d controller transitions\n",
+				o.slo, m.AdmissionShedPeakPM, m.AdmissionTransitions)
+		}
+	}
+	if inj != nil {
+		fmt.Printf("faults: plan %s; %s\n", plan.Name, inj.Stats())
+		if o.producers > 0 {
+			fmt.Printf("drive: sourced %d, submitted %d, dropped %d, discarded %d\n",
+				ds.Sourced, ds.Submitted, ds.Dropped, ds.Discarded)
+		}
 	}
 	printCacheStats(m)
 	if o.artOut {
@@ -451,25 +507,39 @@ func run(o options) error {
 // src through the ingress gateway from o.producers goroutines into sink,
 // drain the matcher behind it, and fold the gateway's ingress counters
 // into the matcher's metrics. The wall time covers submission through the
-// matcher's drain.
-func runGateway(o options, queues int, waitSeconds float64, tracer *obs.Tracer, live *obs.Live,
+// matcher's drain. The drive error is collected through a channel rather
+// than discarded: an injected (or real) producer panic is reported after
+// the drain instead of being lost in a dead goroutine — Drive's recovery
+// path closes the panicked producer's watermark, so the drain itself
+// never deadlocks on it.
+func runGateway(o options, inj *faults.Injector, queues int, waitSeconds float64, tracer *obs.Tracer, live *obs.Live,
 	src ingest.Source, sink func(sim.Request), drain func() error, metrics func() *sim.Metrics,
-) (*sim.Metrics, time.Duration, error) {
+) (*sim.Metrics, ingest.DriveStats, time.Duration, error) {
 	gw, err := newGateway(o, queues, waitSeconds, tracer, live)
 	if err != nil {
-		return nil, 0, err
+		return nil, ingest.DriveStats{}, 0, err
 	}
 	start := time.Now()
-	go ingest.Drive(gw, src, o.producers)
+	var ds ingest.DriveStats
+	done := make(chan error, 1)
+	go func() {
+		var derr error
+		ds, derr = ingest.DriveInjected(gw, src, o.producers, inj)
+		done <- derr
+	}()
 	gw.Drain(sink)
+	driveErr := <-done
 	derr := drain()
 	wall := time.Since(start)
 	m := metrics()
 	gw.MetricsInto(m)
-	if derr != nil {
-		return nil, 0, derr
+	if driveErr != nil {
+		return nil, ds, 0, fmt.Errorf("ingress drive: %w", driveErr)
 	}
-	return m, wall, nil
+	if derr != nil {
+		return nil, ds, 0, derr
+	}
+	return m, ds, wall, nil
 }
 
 // newGateway builds the ingress gateway for this run: one bounded
@@ -486,6 +556,7 @@ func newGateway(o options, queues int, waitSeconds float64, tracer *obs.Tracer, 
 		Depth:       o.queueDepth,
 		Policy:      policy,
 		WaitSeconds: waitSeconds,
+		WallSLO:     o.slo,
 		Trace:       tracer,
 		Live:        live,
 	}), nil

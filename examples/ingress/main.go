@@ -68,9 +68,13 @@ func main() {
 			WaitSeconds: wait,
 		})
 		start := time.Now()
-		go ingest.Drive(gw, gen, 8)
+		driveErr := make(chan error, 1)
+		go func() { driveErr <- ingest.Drive(gw, gen, 8) }()
 		gw.Drain(func(r sim.Request) { eng.Enqueue(r) })
 		wall := time.Since(start)
+		if err := <-driveErr; err != nil {
+			log.Fatalf("%s: drive: %v", policy, err)
+		}
 		if err := gen.Err(); err != nil {
 			log.Fatalf("%s: %v", policy, err)
 		}

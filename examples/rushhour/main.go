@@ -78,8 +78,12 @@ func main() {
 		})
 		src := ingest.SliceSource(day)
 		start := time.Now()
-		go ingest.Drive(gw, &src, producers)
+		driveErr := make(chan error, 1)
+		go func() { driveErr <- ingest.Drive(gw, &src, producers) }()
 		gw.Drain(func(r sim.Request) { s.Submit(r) })
+		if err := <-driveErr; err != nil {
+			log.Fatalf("%s: drive: %v", algo, err)
+		}
 		if err := s.Drain(); err != nil {
 			log.Fatalf("%s: %v", algo, err)
 		}

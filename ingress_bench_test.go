@@ -53,9 +53,13 @@ func BenchmarkIngressThroughput(b *testing.B) {
 				gw := ingest.New(ingest.Config{Queues: e.Shards(), Depth: 64, Policy: ingest.Block})
 				src := ingest.SliceSource(world.Requests)
 				b.StartTimer()
-				go ingest.Drive(gw, &src, producers)
+				driveErr := make(chan error, 1)
+				go func() { driveErr <- ingest.Drive(gw, &src, producers) }()
 				gw.Drain(func(r sim.Request) { e.Submit(r) })
 				b.StopTimer()
+				if err := <-driveErr; err != nil {
+					b.Fatalf("drive: %v", err)
+				}
 				m = e.Metrics()
 				gw.MetricsInto(m)
 				if m.Admitted != len(world.Requests) || m.Shed() != 0 {
@@ -119,7 +123,9 @@ func BenchmarkIngressThroughput(b *testing.B) {
 			})
 			src := ingest.SliceSource(world.Requests)
 			b.StartTimer()
-			ingest.Drive(gw, &src, 4)
+			if err := ingest.Drive(gw, &src, 4); err != nil {
+				b.Fatalf("drive: %v", err)
+			}
 			gw.Drain(func(r sim.Request) {
 				if lag := gw.Now() - r.Time; lag > wait {
 					b.Fatalf("request %d handed off %.0f s late (window %d s)", r.ID, lag, wait)

@@ -865,6 +865,7 @@ func (t *Tree) SetLocation(v roadnet.VertexID, odo float64) {
 	if v == t.loc && odo == t.odo {
 		return
 	}
+	moved := odo - t.odo
 	t.loc = v
 	t.odo = odo
 	if t.Empty() {
@@ -875,18 +876,32 @@ func (t *Tree) SetLocation(v roadnet.VertexID, odo float64) {
 		// stale (possibly invalid) branches stay until the next request
 		// forces a full revalidation.
 		for _, c := range t.children {
-			c.leg = t.oracle.Dist(v, c.stops[0].Vertex)
+			if d := t.oracle.Dist(v, c.stops[0].Vertex); d != sp.Inf {
+				c.leg = d
+			} else {
+				// Degraded lookup (a bounded-retry oracle exhausted its
+				// budget), not true unreachability: in a static network a
+				// committed stop cannot become unreachable by the vehicle
+				// moving toward it. Estimate the leg as "previous minus
+				// distance traveled" — exact for the branch the server is
+				// following, conservative-enough for the alternatives,
+				// and corrected by the next successful lookup — instead
+				// of corrupting the schedule with an infinite leg.
+				if c.leg -= moved; c.leg < 0 {
+					c.leg = 0
+				}
+			}
 		}
 		t.stale = true
 		return
 	}
-	t.pruneEager()
+	t.pruneEager(moved)
 }
 
 // pruneEager re-validates the root children against the current location
 // using the detour shortcuts, which are sound because eager trees keep
 // their legs and slack aggregates fresh on every movement.
-func (t *Tree) pruneEager() {
+func (t *Tree) pruneEager(moved float64) {
 	t.resetWalk()
 	ins := &t.ins
 	*ins = inserter{t: t, budget: math.MaxInt}
@@ -894,7 +909,14 @@ func (t *Tree) pruneEager() {
 	for _, c := range t.children {
 		newLeg := t.oracle.Dist(t.loc, c.stops[0].Vertex)
 		if newLeg == sp.Inf {
-			freeTree(c)
+			// Degraded lookup, not true unreachability (see SetLocation's
+			// lazy arm): this branch holds committed trips, so keep it on
+			// the travel-adjusted previous leg rather than deleting the
+			// schedule. The next movement re-tries the lookup.
+			if c.leg -= moved; c.leg < 0 {
+				c.leg = 0
+			}
+			kept = append(kept, c)
 			continue
 		}
 		detour := newLeg - c.leg // relative to previous position

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sp"
@@ -137,6 +138,8 @@ type shard struct {
 	feasFree [][]vehTrial       // recycled phase-1 retention buffers
 	ring     *obs.Ring          // per-shard trial events; single-writer because
 	// the pool runs at most one task per shard and fan-outs are serialized
+	fault *faults.WorkerHook // injected stalls/slow trials (nil = off);
+	// single-writer for the same reason as ring
 }
 
 // feasBuf pops a recycled phase-1 retention buffer (nil when none are
@@ -221,7 +224,10 @@ func New(cfg sim.Config, oracles OracleFactory) (*Engine, error) {
 		}
 		ring := cfg.Trace.Ring(fmt.Sprintf("shard-%d", i))
 		w.SetTrace(ring, cfg.Live)
-		e.shards = append(e.shards, &shard{id: i, nshards: nshards, w: w, grid: grid, ring: ring})
+		e.shards = append(e.shards, &shard{
+			id: i, nshards: nshards, w: w, grid: grid, ring: ring,
+			fault: cfg.Faults.Worker(),
+		})
 	}
 	// Identical seed-determined placement to sim.New: vehicle i lives on
 	// shard i mod nshards.
@@ -333,9 +339,11 @@ type shardBest struct {
 func (s *shard) trial(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps, radius float64) shardBest {
 	s.drainReportsUntil(cfg, req.Time)
 	s.cand = s.grid.Within(s.cand[:0], px, py, radius)
+	s.fault.BeforeFanout()
 	best := shardBest{veh: -1}
 	for _, id := range s.cand {
 		v := s.vehicle(int(id))
+		s.fault.BeforeTrial()
 		s.w.AdvanceTo(v, req.Time)
 		tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps)
 		if !ok {
@@ -375,10 +383,12 @@ type phase1 struct {
 func (s *shard) trialRetain(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps, radius float64) phase1 {
 	s.drainReportsUntil(cfg, req.Time)
 	s.cand = s.grid.Within(s.cand[:0], px, py, radius)
+	s.fault.BeforeFanout()
 	before := s.w.Metrics().TrialCalls
 	feas := s.feasBuf()
 	for _, id := range s.cand {
 		v := s.vehicle(int(id))
+		s.fault.BeforeTrial()
 		s.w.AdvanceTo(v, req.Time)
 		if tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps); ok {
 			feas = append(feas, vehTrial{veh: int(id), trial: tr})
@@ -396,6 +406,7 @@ func (s *shard) retrial(cfg *sim.Config, req sim.Request, px, py, waitMeters, ep
 	best := shardBest{veh: -1}
 	for _, id := range ids {
 		v := s.vehicle(id)
+		s.fault.BeforeTrial()
 		s.w.AdvanceTo(v, req.Time)
 		tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps)
 		if !ok {
@@ -598,7 +609,10 @@ func (e *Engine) dedupStatsers() {
 	seenLat := make(map[sim.CacheLatencyStatser]bool, len(e.shards))
 	seenCS := make(map[sim.CacheStatser]bool, len(e.shards))
 	for _, s := range e.shards {
-		o := s.w.Oracle()
+		// Peel decorator facades (sp.Retry, faults.FlakyOracle) so a
+		// shard oracle wrapped for fault tolerance still reports its
+		// cache stack's stats.
+		o := sp.Unwrap(s.w.Oracle())
 		var cls sim.CacheLatencyStatser
 		if w, ok := o.(*cache.SharedWorker); ok {
 			cls = w.Shared()

@@ -1,0 +1,254 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// run feeds n submissions at times 0,1,2,... through a fresh hook and
+// returns the verdict stream.
+func runProducer(h *ProducerHook, n int) (times []float64, acts []Action) {
+	for i := 0; i < n; i++ {
+		t, a := h.BeforeSubmit(float64(i))
+		times = append(times, t)
+		acts = append(acts, a)
+	}
+	return times, acts
+}
+
+// TestDeterminism: the same plan replayed over the same call sequence
+// makes identical decisions — the whole point of counter-driven faults.
+func TestDeterminism(t *testing.T) {
+	for _, name := range PlanNames() {
+		plan, err := ParsePlan(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := New(plan)
+		b := New(plan)
+		for p := 0; p < 3; p++ { // three producer streams each
+			ta, aa := runProducer(a.Producer(), 100)
+			tb, ab := runProducer(b.Producer(), 100)
+			for i := range ta {
+				if ta[i] != tb[i] || aa[i] != ab[i] {
+					t.Fatalf("plan %s producer %d diverged at call %d: (%v,%v) vs (%v,%v)",
+						name, p, i, ta[i], aa[i], tb[i], ab[i])
+				}
+			}
+		}
+		oa, ob := a.Oracle(), b.Oracle()
+		for i := 0; i < 500; i++ {
+			if oa.FailDist() != ob.FailDist() {
+				t.Fatalf("plan %s oracle diverged at lookup %d", name, i)
+			}
+		}
+		if sa, sb := a.Stats(), b.Stats(); sa != sb {
+			t.Fatalf("plan %s stats diverged: %v vs %v", name, sa, sb)
+		}
+	}
+}
+
+// TestNilSafety: nil injectors and nil hooks are complete pass-throughs.
+func TestNilSafety(t *testing.T) {
+	var in *Injector
+	ph, wh, oh := in.Producer(), in.Worker(), in.Oracle()
+	if ph != nil || wh != nil || oh != nil {
+		t.Fatal("nil injector handed out non-nil hooks")
+	}
+	if tm, act := ph.BeforeSubmit(42.5); tm != 42.5 || act != ActionSubmit {
+		t.Fatalf("nil ProducerHook rewrote the submission: %v %v", tm, act)
+	}
+	wh.BeforeFanout() // must not panic
+	wh.BeforeTrial()
+	if oh.FailDist() {
+		t.Fatal("nil OracleHook failed a lookup")
+	}
+	oh.Spike()
+	if !in.Stats().Zero() {
+		t.Fatal("nil injector reported stats")
+	}
+	if in.Plan().Enabled() {
+		t.Fatal("nil injector reported an enabled plan")
+	}
+}
+
+// TestDisabledPlanPassThrough: an all-zero plan never alters anything.
+func TestDisabledPlanPassThrough(t *testing.T) {
+	in := New(Plan{})
+	h := in.Producer()
+	times, acts := runProducer(h, 200)
+	for i := range times {
+		if times[i] != float64(i) || acts[i] != ActionSubmit {
+			t.Fatalf("disabled plan touched submission %d: %v %v", i, times[i], acts[i])
+		}
+	}
+	o := in.Oracle()
+	for i := 0; i < 200; i++ {
+		if o.FailDist() {
+			t.Fatal("disabled plan failed a lookup")
+		}
+	}
+	if !in.Stats().Zero() {
+		t.Fatalf("disabled plan accumulated stats: %v", in.Stats())
+	}
+}
+
+// TestCrashSpan: a crash drops a contiguous span of CrashSpan requests.
+func TestCrashSpan(t *testing.T) {
+	in := New(Plan{Seed: 9, Producer: ProducerPlan{CrashEvery: 10, CrashSpan: 3}})
+	_, acts := runProducer(in.Producer(), 40)
+	runs, drops, cur := 0, 0, 0
+	for _, a := range acts {
+		if a == ActionDrop {
+			drops++
+			cur++
+			continue
+		}
+		if cur > 0 {
+			// An interior span is always exactly CrashSpan wide; only the
+			// stream's end may cut one short.
+			if cur != 3 {
+				t.Fatalf("crash span of %d drops, want 3", cur)
+			}
+			runs++
+			cur = 0
+		}
+	}
+	if cur > 0 {
+		if cur > 3 {
+			t.Fatalf("trailing crash span of %d drops, want <= 3", cur)
+		}
+		runs++
+	}
+	s := in.Stats()
+	if runs == 0 || s.Crashes != runs || s.Dropped != drops {
+		t.Fatalf("runs=%d drops=%d stats=%v, want matching contiguous spans", runs, drops, s)
+	}
+}
+
+// TestSkewOnlyOddProducers: skew applies to odd registration indices and
+// preserves per-producer monotonicity.
+func TestSkewOnlyOddProducers(t *testing.T) {
+	in := New(Plan{Seed: 2, Producer: ProducerPlan{SkewSeconds: 150}})
+	even, odd := in.Producer(), in.Producer()
+	for i := 0; i < 10; i++ {
+		if tm, _ := even.BeforeSubmit(float64(i)); tm != float64(i) {
+			t.Fatalf("even producer skewed: %v", tm)
+		}
+		if tm, _ := odd.BeforeSubmit(float64(i)); tm != float64(i)+150 {
+			t.Fatalf("odd producer time = %v, want %v", tm, float64(i)+150)
+		}
+	}
+	if s := in.Stats(); s.Skewed != 10 {
+		t.Fatalf("skewed = %d, want 10", s.Skewed)
+	}
+}
+
+// TestBurstCollapse: the BurstLen submissions after an anchor collapse
+// onto the anchor's timestamp, and never move a timestamp forward.
+func TestBurstCollapse(t *testing.T) {
+	in := New(Plan{Seed: 3, Producer: ProducerPlan{BurstEvery: 7, BurstLen: 3}})
+	times, _ := runProducer(in.Producer(), 50)
+	s := in.Stats()
+	if s.Bursted == 0 {
+		t.Fatal("burst plan never collapsed a timestamp")
+	}
+	collapsed := 0
+	for i, tm := range times {
+		if tm > float64(i) {
+			t.Fatalf("burst moved a timestamp forward: call %d -> %v", i, tm)
+		}
+		if tm < float64(i) {
+			collapsed++
+		}
+	}
+	if collapsed != s.Bursted {
+		t.Fatalf("%d collapsed timestamps, stats say %d", collapsed, s.Bursted)
+	}
+}
+
+// TestOracleErrorBurst: failures come in runs of exactly ErrBurst per
+// ErrEvery-wide window.
+func TestOracleErrorBurst(t *testing.T) {
+	in := New(Plan{Seed: 6, Oracle: OraclePlan{ErrEvery: 16, ErrBurst: 2}})
+	h := in.Oracle()
+	fails := 0
+	maxRun, run := 0, 0
+	for i := 0; i < 16*8; i++ {
+		if h.FailDist() {
+			fails++
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if fails != 2*8 {
+		t.Fatalf("fails = %d over 8 windows, want 16", fails)
+	}
+	if maxRun != 2 {
+		t.Fatalf("longest failure run = %d, want exactly the burst length 2", maxRun)
+	}
+}
+
+// TestWorkerSchedules: stall and slow-trial counters fire at the plan
+// period.
+func TestWorkerSchedules(t *testing.T) {
+	in := New(Plan{Seed: 4, Worker: WorkerPlan{
+		StallEvery: 8, Stall: time.Microsecond,
+		SlowEvery: 4, Slow: time.Microsecond,
+	}})
+	h := in.Worker()
+	for i := 0; i < 64; i++ {
+		h.BeforeFanout()
+		h.BeforeTrial()
+	}
+	if s := in.Stats(); s.Stalls != 8 || s.SlowTrials != 16 {
+		t.Fatalf("stalls=%d slow=%d, want 8/16", s.Stalls, s.SlowTrials)
+	}
+}
+
+// TestPhaseDecorrelation: sibling streams under one seed get distinct
+// phases, so scheduled faults don't strike every stream in lockstep.
+func TestPhaseDecorrelation(t *testing.T) {
+	seen := map[uint64]bool{}
+	for idx := uint64(0); idx < 16; idx++ {
+		p := phaseFor(1, 0x70726f64, idx)
+		if seen[p] {
+			t.Fatalf("phase collision at stream %d", idx)
+		}
+		seen[p] = true
+	}
+}
+
+// TestParsePlan covers the name registry and its error path.
+func TestParsePlan(t *testing.T) {
+	for _, name := range []string{"", "none"} {
+		p, err := ParsePlan(name)
+		if err != nil || p.Enabled() {
+			t.Fatalf("ParsePlan(%q) = %v, %v; want disabled zero plan", name, p, err)
+		}
+	}
+	names := PlanNames()
+	if len(names) < 8 {
+		t.Fatalf("shipped plan library too small: %v", names)
+	}
+	for _, name := range names {
+		p, err := ParsePlan(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Enabled() {
+			t.Fatalf("shipped plan %q injects nothing", name)
+		}
+		if p.Name != name {
+			t.Fatalf("plan %q carries name %q", name, p.Name)
+		}
+	}
+	if _, err := ParsePlan("nonsense"); err == nil || !strings.Contains(err.Error(), "unknown plan") {
+		t.Fatalf("ParsePlan(nonsense) err = %v", err)
+	}
+}

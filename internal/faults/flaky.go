@@ -1,0 +1,58 @@
+package faults
+
+import (
+	"repro/internal/roadnet"
+	"repro/internal/sp"
+)
+
+// FlakyOracle wraps a real oracle with an OracleHook: distance lookups
+// fail with ErrInjected on the hook's schedule, and both lookup kinds
+// absorb the hook's latency spikes. It implements sp.Fallible so
+// sp.Retry can sit on top, forming the retryable facade the dispatch
+// shards consume:
+//
+//	sp.NewRetry(faults.NewFlakyOracle(shared.NewWorkerOracle(), inj.Oracle()), opts)
+//
+// Only TryDist injects errors. A transiently-nil Path on a reachable
+// pair would corrupt vehicle motion (paths drive the kinetic tree's leg
+// geometry), whereas a +Inf Dist is the ordinary "infeasible candidate"
+// sentinel the trial path already handles — so the error seam is the
+// one the system can provably degrade from.
+//
+// Per-goroutine, like the facades it wraps; the hook is single-writer.
+type FlakyOracle struct {
+	inner sp.Oracle
+	hook  *OracleHook
+}
+
+// NewFlakyOracle wraps inner. A nil hook makes every lookup pass
+// straight through (the faults-disabled equivalence configuration).
+func NewFlakyOracle(inner sp.Oracle, hook *OracleHook) *FlakyOracle {
+	return &FlakyOracle{inner: inner, hook: hook}
+}
+
+// Unwrap exposes the wrapped oracle for sp.Unwrap peeling.
+func (f *FlakyOracle) Unwrap() sp.Oracle { return f.inner }
+
+// TryDist implements sp.Fallible.
+func (f *FlakyOracle) TryDist(u, v roadnet.VertexID) (float64, error) {
+	if f.hook.FailDist() {
+		return 0, ErrInjected
+	}
+	f.hook.Spike()
+	return f.inner.Dist(u, v), nil
+}
+
+// TryPath implements sp.Fallible. Latency only — see the type comment.
+func (f *FlakyOracle) TryPath(u, v roadnet.VertexID) ([]roadnet.VertexID, error) {
+	f.hook.Spike()
+	return f.inner.Path(u, v), nil
+}
+
+// WrapOracle is the one-call spelling of the retryable facade: inner
+// behind a FlakyOracle driven by hook, behind sp.Retry with opt. Works
+// with a nil hook (pass-through, still bit-identical — proven by the
+// disabled-equivalence test), so callers can wire it unconditionally.
+func WrapOracle(inner sp.Oracle, hook *OracleHook, opt sp.RetryOptions) sp.Oracle {
+	return sp.NewRetry(NewFlakyOracle(inner, hook), opt)
+}

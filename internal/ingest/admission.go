@@ -1,0 +1,114 @@
+package ingest
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Adaptive-admission controller tuning. Levels are per mille.
+const (
+	// ctrlMinSamples release observations (or ctrlMaxSweeps drain
+	// sweeps, whichever first — a starved drainer still has to react to
+	// backlog) between adjustments.
+	ctrlMinSamples = 32
+	ctrlMaxSweeps  = 64
+	// Additive increase per hot evaluation; decrease is multiplicative
+	// (halving), the classic AIMD shape: react fast on overload onset,
+	// back off gently so recovery doesn't oscillate.
+	ctrlStep  = 50
+	ctrlMaxPM = 950
+)
+
+// controller is the drainer-owned half of Adaptive admission. It watches
+// two signals — the wall-clock gateway residence of recent handoffs
+// (p99 over a sliding window of ctrlMinSamples+ observations) and the
+// post-sweep backlog — and steers the shed level producers apply:
+//
+//	          p99 > SLO  or  backlog > capacity          → raise (+step)
+//	p99 < SLO/2 and backlog < capacity/4 (both calm)     → decay (halve)
+//	                 anywhere between                    → hold
+//
+// The dead band between SLO/2 and SLO (and between the backlog marks)
+// is the hysteresis that prevents flapping: the level only moves when
+// the system is decisively hot or decisively calm, and transitions
+// between the shedding and open states are counted for observability.
+//
+// Single-writer: only the drain goroutine touches it; the resulting
+// level crosses to producers through Gateway.shedPM.
+type controller struct {
+	slo       time.Duration
+	hiBacklog int
+	loBacklog int
+
+	win    *obs.Histogram // residence observations since the last adjust
+	sweeps int
+
+	pm       int64
+	shedding bool
+
+	peakPM      int64
+	transitions int
+}
+
+func newController(slo time.Duration, capacity int) *controller {
+	if slo <= 0 {
+		slo = 500 * time.Millisecond
+	}
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &controller{
+		slo:       slo,
+		hiBacklog: capacity,
+		loBacklog: capacity / 4,
+		win:       obs.NewHistogram(),
+	}
+}
+
+// observe records one handoff's wall-clock gateway residence (released
+// and wall-SLO-shed requests both count — the blown ones are the
+// overload evidence).
+func (c *controller) observe(wait time.Duration) { c.win.Record(wait.Nanoseconds()) }
+
+// maybeAdjust runs at the end of every drain sweep with the post-sweep
+// backlog; it re-evaluates the shed level once enough evidence has
+// accumulated and reports whether the level changed.
+func (c *controller) maybeAdjust(backlog int) (pm int64, changed bool) {
+	c.sweeps++
+	if c.win.Count() < ctrlMinSamples && c.sweeps < ctrlMaxSweeps {
+		return c.pm, false
+	}
+	samples := c.win.Count()
+	p99 := time.Duration(c.win.Quantile(0.99))
+	*c.win = obs.Histogram{}
+	c.sweeps = 0
+
+	old := c.pm
+	hot := (samples > 0 && p99 > c.slo) || backlog > c.hiBacklog
+	calm := (samples == 0 || p99 < c.slo/2) && backlog < c.loBacklog
+	switch {
+	case hot:
+		c.pm += ctrlStep
+		if c.pm > ctrlMaxPM {
+			c.pm = ctrlMaxPM
+		}
+		if !c.shedding {
+			c.shedding = true
+			c.transitions++
+		}
+	case calm && c.pm > 0:
+		c.pm /= 2
+		if c.pm < ctrlStep/2 {
+			c.pm = 0
+		}
+		if c.pm == 0 && c.shedding {
+			c.shedding = false
+			c.transitions++
+		}
+	}
+	if c.pm > c.peakPM {
+		c.peakPM = c.pm
+	}
+	return c.pm, c.pm != old
+}

@@ -1,8 +1,12 @@
 package ingest
 
 import (
+	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -26,6 +30,16 @@ func (s *SliceSource) Next() (sim.Request, bool) {
 	return req, true
 }
 
+// DriveStats accounts for every request Drive pulled from its source, so
+// callers (and the faults invariant checker) can reconcile the gateway's
+// admission counts against what actually entered the system.
+type DriveStats struct {
+	Sourced   int // requests pulled from the source
+	Submitted int // Producer.Submit calls made (admitted or shed at admission)
+	Dropped   int // lost to injected crashes or panics before admission
+	Discarded int // routed to a producer that had already died by panic
+}
+
 // Drive is the open-loop load driver: it pulls src sequentially — so the
 // stream content is deterministic for a fixed source regardless of
 // producer count — and fans the requests out round-robin to `producers`
@@ -36,9 +50,24 @@ func (s *SliceSource) Next() (sim.Request, bool) {
 // Drive blocks until every request is submitted and every producer is
 // closed; run it concurrently with gw.Drain:
 //
-//	go ingest.Drive(gw, src, 8)
+//	go func() { errc <- ingest.Drive(gw, src, 8) }()
 //	gw.Drain(func(r sim.Request) { eng.Enqueue(r) })
-func Drive(gw *Gateway, src Source, producers int) {
+//
+// A producer goroutine that panics (a buggy Source-side callback, or an
+// injected fault) does not deadlock the pipeline: its watermark is
+// released, the requests already routed to it are discarded, and the
+// panic surfaces here as an error after the remaining producers finish.
+func Drive(gw *Gateway, src Source, producers int) error {
+	_, err := DriveInjected(gw, src, producers, nil)
+	return err
+}
+
+// DriveInjected is Drive with a fault-injection seam: each producer
+// goroutine consults its faults.ProducerHook before every submission
+// (timestamp skew/collapse, crash drops, injected panics). A nil
+// injector — or one with an empty plan — is the pass-through
+// configuration, byte-identical in behavior to Drive.
+func DriveInjected(gw *Gateway, src Source, producers int, inj *faults.Injector) (DriveStats, error) {
 	if producers < 1 {
 		producers = 1
 	}
@@ -47,26 +76,69 @@ func Drive(gw *Gateway, src Source, producers int) {
 	for i := range chans {
 		chans[i] = make(chan sim.Request, 64)
 	}
+	var submitted, dropped, discarded atomic.Int64
+	errc := make(chan error, producers)
 	var wg sync.WaitGroup
 	for i, p := range handles {
 		wg.Add(1)
-		go func(ch chan sim.Request, p *Producer) {
+		go func(idx int, ch chan sim.Request, p *Producer, hook *faults.ProducerHook) {
 			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				errc <- fmt.Errorf("ingest: producer %d panicked: %v", idx, r)
+				// Release this producer's watermark so the drain can
+				// finish on the survivors' submissions, then discard
+				// whatever the router had already queued for us —
+				// otherwise the round-robin send blocks forever on a
+				// reader that no longer exists.
+				p.Close()
+				for range ch {
+					discarded.Add(1)
+				}
+			}()
 			for req := range ch {
-				p.Submit(req)
+				t, act := hook.BeforeSubmit(req.Time)
+				switch act {
+				case faults.ActionDrop:
+					dropped.Add(1)
+					p.Skip(t)
+				case faults.ActionPanic:
+					// The triggering request is lost with the producer;
+					// account for it before unwinding.
+					dropped.Add(1)
+					panic(fmt.Sprintf("injected producer fault at request %d", req.ID))
+				default:
+					req.Time = t
+					p.Submit(req)
+					submitted.Add(1)
+				}
 			}
 			p.Close()
-		}(chans[i], p)
+		}(i, chans[i], p, inj.Producer())
 	}
+	var stats DriveStats
 	for i := 0; ; i++ {
 		req, ok := src.Next()
 		if !ok {
 			break
 		}
+		stats.Sourced++
 		chans[i%producers] <- req
 	}
 	for _, ch := range chans {
 		close(ch)
 	}
 	wg.Wait()
+	close(errc)
+	var errs []error
+	for err := range errc {
+		errs = append(errs, err)
+	}
+	stats.Submitted = int(submitted.Load())
+	stats.Dropped = int(dropped.Load())
+	stats.Discarded = int(discarded.Load())
+	return stats, errors.Join(errs...)
 }

@@ -23,11 +23,18 @@
 //
 // Backpressure is configurable per Config.Policy: Block stalls a producer
 // on a full queue (the lossless default), ShedOldest evicts the oldest
-// queued request to admit the new one, and ShedDeadline additionally
+// queued request to admit the new one (per-producer fair: the victim comes
+// from the producer occupying the most queue slots, so one flooding
+// producer cannot evict a polite one's requests), ShedDeadline additionally
 // refuses — at admission and again at handoff — any request whose
 // waiting-time window has already been blown by gateway lag, so the engine
 // never spends trial insertions on a rider the service guarantee has
-// already lost.
+// already lost. Adaptive replaces the fixed queue-depth backpressure with
+// an SLO-driven admission controller: the drainer measures the p99 gateway
+// residence and the matching backlog, and steers a shed probability
+// (per-mille, AIMD with hysteresis bands) that producers apply at
+// admission, so goodput degrades smoothly under overload instead of
+// cliff-diving when queues fill.
 package ingest
 
 import (
@@ -60,6 +67,17 @@ const (
 	// admission, and again at handoff for requests the window expired on
 	// while they were queued (counted as ShedDeadline).
 	ShedDeadline
+	// Adaptive is SLO-driven admission: producers shed incoming requests
+	// with a probability the drainer's controller steers from the live
+	// p99 gateway residence and matching backlog (counted as
+	// ShedAdaptive), full queues evict fairly like ShedOldest (counted
+	// as ShedOverflow), blown simulated-time windows are refused like
+	// ShedDeadline (counted as ShedDeadline), and requests whose
+	// wall-clock residence exceeded Config.WallSLO are shed at handoff
+	// (counted as ShedAdaptive) — so everything the engine receives is
+	// still inside both its service-guarantee window and the operator's
+	// latency SLO.
+	Adaptive
 )
 
 func (p Policy) String() string {
@@ -70,14 +88,16 @@ func (p Policy) String() string {
 		return "shed-oldest"
 	case ShedDeadline:
 		return "deadline"
+	case Adaptive:
+		return "adaptive"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
-// ParsePolicy maps the CLI spellings (block, shed-oldest, deadline) to a
-// Policy.
+// ParsePolicy maps the CLI spellings (block, shed-oldest, deadline,
+// adaptive) to a Policy.
 func ParsePolicy(s string) (Policy, error) {
-	for _, p := range []Policy{Block, ShedOldest, ShedDeadline} {
+	for _, p := range []Policy{Block, ShedOldest, ShedDeadline, Adaptive} {
 		if p.String() == s {
 			return p, nil
 		}
@@ -99,6 +119,12 @@ type Config struct {
 	// ShedDeadline for requests without a per-request override
 	// (default 600, matching sim.Config).
 	WaitSeconds float64
+	// WallSLO is the wall-clock gateway-residence target the Adaptive
+	// policy steers toward: the controller raises the shed probability
+	// while the measured p99 residence exceeds it, and requests that
+	// individually blow it are shed at handoff (default 500ms; ignored
+	// by the other policies).
+	WallSLO time.Duration
 
 	// Trace, when non-nil, captures request lifecycle events (admitted,
 	// queued, released, shed) into per-producer and drainer ring buffers.
@@ -120,6 +146,9 @@ func (c Config) withDefaults() Config {
 	if c.WaitSeconds == 0 {
 		c.WaitSeconds = 600
 	}
+	if c.WallSLO <= 0 {
+		c.WallSLO = 500 * time.Millisecond
+	}
 	return c
 }
 
@@ -132,6 +161,7 @@ type stamped struct {
 	req  sim.Request
 	seq  uint64    // Lamport admission tick, unique per admitted request
 	wall time.Time // admission wall time, for the IngressWait metric
+	prod int32     // submitting producer's index, for fair eviction
 }
 
 // before reports whether a precedes b in stamped order.
@@ -159,9 +189,17 @@ type Gateway struct {
 	mu        sync.Mutex
 	producers []*Producer
 
+	// Adaptive-admission shared state: the drainer's controller stores
+	// the current shed probability (per mille) and producers read it at
+	// admission; the shed counter has both producer writers (admission
+	// sheds) and the drainer (wall-SLO handoff sheds).
+	shedPM       atomic.Int64
+	shedAdaptive atomic.Int64
+
 	// Drainer-owned state; touched only by Drain's goroutine.
 	heap         stampHeap
 	admitted     int
+	ctrl         *controller // nil unless Policy == Adaptive
 	shedDeadline atomic.Int64 // admission-side sheds come from producers
 	waitHist     *obs.Histogram // gateway residence wall time, ns
 	lagHist      *obs.Histogram // release lag in simulated ms, Now()-req.Time
@@ -181,6 +219,9 @@ func New(cfg Config) *Gateway {
 	}
 	for i := 0; i < cfg.Queues; i++ {
 		g.queues = append(g.queues, newQueue(cfg.Depth))
+	}
+	if cfg.Policy == Adaptive {
+		g.ctrl = newController(cfg.WallSLO, cfg.Queues*cfg.Depth)
 	}
 	// The drainer's merge heap holds at most one full sweep of every
 	// queue; sizing it up front keeps push from growing the backing
@@ -229,7 +270,7 @@ func (g *Gateway) Producers(n int) []*Producer {
 	g.mu.Lock()
 	out := make([]*Producer, n)
 	for i := range out {
-		p := &Producer{gw: g}
+		p := &Producer{gw: g, id: int32(len(g.producers))}
 		p.ring = g.cfg.Trace.Ring(fmt.Sprintf("producer-%d", len(g.producers)))
 		p.watermark.Store(math.Float64bits(math.Inf(-1)))
 		g.producers = append(g.producers, p)
@@ -271,9 +312,11 @@ func (g *Gateway) nudge() {
 // Producer is one goroutine's submission handle.
 type Producer struct {
 	gw        *Gateway
+	id        int32         // registration index, carried on stamps
 	ring      *obs.Ring     // this producer's lifecycle events (nil = off)
 	watermark atomic.Uint64 // float64 bits; monotone, single-writer
 	last      float64       // last submitted event time (clamp floor)
+	acc       int64         // adaptive-shed error accumulator (per mille)
 	started   bool
 	closed    bool
 }
@@ -307,7 +350,8 @@ func (p *Producer) Submit(req sim.Request) bool {
 	p.watermark.Store(math.Float64bits(req.Time))
 	g := p.gw
 	g.advanceNow(req.Time)
-	if g.cfg.Policy == ShedDeadline {
+	policy := g.cfg.Policy
+	if policy == ShedDeadline || policy == Adaptive {
 		if lag := g.Now() - req.Time; lag > g.window(req) {
 			g.shedDeadline.Add(1)
 			g.cfg.Live.AddShedDeadline(1)
@@ -316,23 +360,66 @@ func (p *Producer) Submit(req sim.Request) bool {
 			return false
 		}
 	}
-	s := stamped{req: req, seq: g.seq.Add(1), wall: time.Now()}
+	if policy == Adaptive {
+		// Deterministic probabilistic shed: a per-producer error
+		// accumulator against the controller's per-mille level, so a
+		// level of 250 sheds exactly every 4th request per producer —
+		// no RNG, same discipline as the obs counter sampling.
+		if pm := g.shedPM.Load(); pm > 0 {
+			p.acc += pm
+			if p.acc >= 1000 {
+				p.acc -= 1000
+				g.shedAdaptive.Add(1)
+				g.cfg.Live.AddShedAdaptive(1)
+				p.ring.Emit(obs.KindShed, req.ID, req.Time, obs.ShedReasonAdaptive)
+				g.nudge()
+				return false
+			}
+		}
+	}
+	s := stamped{req: req, seq: g.seq.Add(1), wall: time.Now(), prod: p.id}
 	p.ring.Emit(obs.KindAdmitted, req.ID, req.Time, int64(s.seq))
 	g.cfg.Live.AddAdmitted(1)
 	qi := dispatch.ShardIndex(req.ID, len(g.queues))
 	q := g.queues[qi]
 	// Nudge on both sides of the push: before, so a push that blocks on a
 	// full queue always has a drainer sweep pending to free it; after, so
-	// the enqueued request itself is noticed. Under ShedOldest the push
-	// makes room by evicting the queue head, so the submitted request
-	// itself is always admitted.
+	// the enqueued request itself is noticed. Under ShedOldest/Adaptive
+	// the push makes room by fairly evicting a queued entry, so the
+	// submitted request itself is always admitted.
 	g.nudge()
-	if q.push(s, g.cfg.Policy == ShedOldest) {
+	if evicted, victim := q.push(s, policy == ShedOldest || policy == Adaptive); evicted {
 		g.cfg.Live.AddShedOverflow(1)
+		// The eviction happened under this producer's push, so its ring
+		// is the single-writer home for the victim's shed event even
+		// when the victim was admitted by another producer.
+		p.ring.Emit(obs.KindShed, victim.req.ID, victim.req.Time, obs.ShedReasonOverflow)
 	}
 	p.ring.Emit(obs.KindQueued, req.ID, req.Time, int64(qi))
 	g.nudge()
 	return true
+}
+
+// Skip advances the producer's watermark and the gateway clock past t
+// without submitting anything — the accounting for a request lost
+// upstream of admission (a crashed producer in a fault plan, a request
+// dropped by an upstream filter). Without it the drain would hold every
+// other producer's releases behind this producer's stalled watermark.
+func (p *Producer) Skip(t float64) {
+	if p.closed {
+		panic("ingest: Skip on a closed Producer")
+	}
+	if !p.started {
+		p.started = true
+		p.last = math.Inf(-1)
+	}
+	if t < p.last {
+		t = p.last
+	}
+	p.last = t
+	p.watermark.Store(math.Float64bits(t))
+	p.gw.advanceNow(t)
+	p.gw.nudge()
 }
 
 // Close marks the producer finished: its watermark rises to +Inf so the
@@ -374,6 +461,10 @@ func (g *Gateway) Drain(sink func(sim.Request)) {
 		for _, q := range g.queues {
 			q.drainInto(&g.heap)
 		}
+		// Backlog signal for the adaptive controller: everything resident
+		// after the sweep, before releases — what has piled up since the
+		// drainer last came around (i.e. while the engine was matching).
+		backlog := g.heap.Len()
 		released := false
 		for g.heap.Len() > 0 {
 			// Strictly below the floor: an event time equal to the floor
@@ -385,18 +476,40 @@ func (g *Gateway) Drain(sink func(sim.Request)) {
 			s := g.heap.pop()
 			released = true
 			lag := g.Now() - s.req.Time
-			if g.cfg.Policy == ShedDeadline && lag > g.window(s.req) {
+			policy := g.cfg.Policy
+			if (policy == ShedDeadline || policy == Adaptive) && lag > g.window(s.req) {
 				g.shedDeadline.Add(1)
 				g.cfg.Live.AddShedDeadline(1)
 				g.drainRing.Emit(obs.KindShed, s.req.ID, s.req.Time, obs.ShedReasonDeadlineRelease)
 				continue
 			}
+			wait := time.Since(s.wall)
+			if policy == Adaptive && wait > g.cfg.WallSLO {
+				// The request already blew the operator's latency SLO
+				// inside the gateway; handing it to the engine would
+				// only report a blown promise as served. Shedding here
+				// is also what makes measured goodput honest: every
+				// release is within-SLO by construction.
+				g.shedAdaptive.Add(1)
+				g.cfg.Live.AddShedAdaptive(1)
+				g.drainRing.Emit(obs.KindShed, s.req.ID, s.req.Time, obs.ShedReasonWallSLO)
+				g.ctrl.observe(wait)
+				continue
+			}
+			if g.ctrl != nil {
+				g.ctrl.observe(wait)
+			}
 			g.admitted++
-			wait := time.Since(s.wall).Nanoseconds()
-			g.waitHist.Record(wait)
+			g.waitHist.Record(wait.Nanoseconds())
 			g.lagHist.Record(int64(lag * 1000)) // simulated seconds -> ms
-			g.drainRing.Emit(obs.KindReleased, s.req.ID, s.req.Time, wait)
+			g.drainRing.Emit(obs.KindReleased, s.req.ID, s.req.Time, wait.Nanoseconds())
 			sink(s.req)
+		}
+		if g.ctrl != nil {
+			if pm, changed := g.ctrl.maybeAdjust(backlog); changed {
+				g.shedPM.Store(pm)
+				g.cfg.Live.SetShedLevel(pm)
+			}
 		}
 		g.cfg.Live.SetBacklog(int64(g.heap.Len()))
 		if math.IsInf(floor, 1) && g.heap.Len() == 0 && g.queuesEmpty() {
@@ -435,8 +548,33 @@ func (g *Gateway) MetricsInto(m *sim.Metrics) {
 		m.IngressQueuePeak = peak
 	}
 	m.ShedOverflow += overflow
+	m.ShedAdaptive += int(g.shedAdaptive.Load())
+	if g.ctrl != nil {
+		if pm := int(g.ctrl.peakPM); pm > m.AdmissionShedPeakPM {
+			m.AdmissionShedPeakPM = pm
+		}
+		m.AdmissionTransitions += g.ctrl.transitions
+	}
 	m.IngressWait.Merge(g.waitHist)
 	m.ReleaseLagMs.Merge(g.lagHist)
+}
+
+// ShedByProducer reports, per producer index, how many of that
+// producer's queued requests were evicted by overflow shedding — the
+// fairness ledger. Call at quiescence.
+func (g *Gateway) ShedByProducer() []int {
+	g.mu.Lock()
+	n := len(g.producers)
+	g.mu.Unlock()
+	out := make([]int, n)
+	for _, q := range g.queues {
+		for pid, c := range q.evictions() {
+			if pid < len(out) {
+				out[pid] += c
+			}
+		}
+	}
+	return out
 }
 
 // Metrics returns a fresh sim.Metrics carrying only the gateway's ingress

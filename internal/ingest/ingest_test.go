@@ -477,7 +477,7 @@ func TestGatewayBackpressureStress(t *testing.T) {
 
 // TestParsePolicy covers the CLI spellings.
 func TestParsePolicy(t *testing.T) {
-	for _, p := range []Policy{Block, ShedOldest, ShedDeadline} {
+	for _, p := range []Policy{Block, ShedOldest, ShedDeadline, Adaptive} {
 		got, err := ParsePolicy(p.String())
 		if err != nil || got != p {
 			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)

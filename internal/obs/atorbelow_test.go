@@ -1,0 +1,79 @@
+package obs
+
+import "testing"
+
+// TestCountAtOrBelowExactSmall: values below 16 live in width-1 buckets,
+// so the cumulative count is exact there.
+func TestCountAtOrBelowExactSmall(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 10; v++ {
+		h.Record(v)
+	}
+	for v := int64(0); v < 10; v++ {
+		if got := h.CountAtOrBelow(v); got != uint64(v+1) {
+			t.Fatalf("CountAtOrBelow(%d) = %d, want %d", v, got, v+1)
+		}
+	}
+	if got := h.CountAtOrBelow(-1); got != 0 {
+		t.Fatalf("CountAtOrBelow(-1) = %d, want 0", got)
+	}
+	if got := h.CountAtOrBelow(1 << 40); got != h.Count() {
+		t.Fatalf("CountAtOrBelow(huge) = %d, want all %d", got, h.Count())
+	}
+}
+
+// TestCountAtOrBelowSeparatedClusters: clusters in distinct octaves are
+// split exactly by any value between them.
+func TestCountAtOrBelowSeparatedClusters(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 5; i++ {
+		h.Record(100)
+		h.Record(1000)
+	}
+	if got := h.CountAtOrBelow(50); got != 0 {
+		t.Fatalf("CountAtOrBelow(50) = %d, want 0", got)
+	}
+	if got := h.CountAtOrBelow(500); got != 5 {
+		t.Fatalf("CountAtOrBelow(500) = %d, want 5", got)
+	}
+	if got := h.CountAtOrBelow(1000); got != 10 {
+		t.Fatalf("CountAtOrBelow(1000) = %d (v == max), want 10", got)
+	}
+}
+
+// TestCountAtOrBelowProperties: monotone in v, never above Count, never
+// overcounting (errs low by design), and nil-safe.
+func TestCountAtOrBelowProperties(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.CountAtOrBelow(5); got != 0 {
+		t.Fatalf("nil CountAtOrBelow = %d, want 0", got)
+	}
+	h := NewHistogram()
+	if got := h.CountAtOrBelow(5); got != 0 {
+		t.Fatalf("empty CountAtOrBelow = %d, want 0", got)
+	}
+	vals := []int64{3, 17, 17, 130, 999, 4096, 70000}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	prev := uint64(0)
+	for v := int64(0); v < 1<<18; v += 97 {
+		got := h.CountAtOrBelow(v)
+		if got < prev {
+			t.Fatalf("CountAtOrBelow regressed at %d: %d < %d", v, got, prev)
+		}
+		exact := uint64(0)
+		for _, s := range vals {
+			if s <= v {
+				exact++
+			}
+		}
+		if got > exact {
+			t.Fatalf("CountAtOrBelow(%d) = %d overcounts exact %d", v, got, exact)
+		}
+		prev = got
+	}
+	if got := h.CountAtOrBelow(70000); got != uint64(len(vals)) {
+		t.Fatalf("CountAtOrBelow(max) = %d, want %d", got, len(vals))
+	}
+}

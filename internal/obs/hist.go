@@ -186,6 +186,36 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
+// CountAtOrBelow returns how many recorded samples are <= v, to bucket
+// resolution: the count includes every whole bucket whose upper bound
+// is <= v, plus v's own bucket when v reaches its upper bound — so the
+// answer is exact whenever v lands on a bucket boundary (all small
+// values < 16, and every power-of-two/subCount grid point above) and
+// otherwise errs low by at most one bucket's population. The overload
+// benchmark uses it to count how many served requests met a wall-clock
+// SLO. Nil-safe: 0.
+func (h *Histogram) CountAtOrBelow(v int64) uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if v < 0 {
+		return 0
+	}
+	if v >= h.max {
+		return h.count
+	}
+	idx := bucketIndex(v)
+	lo, width := bucketBounds(idx)
+	var cum uint64
+	for i := 0; i < idx; i++ {
+		cum += h.counts[i]
+	}
+	if v == lo+width-1 {
+		cum += h.counts[idx]
+	}
+	return cum
+}
+
 // TopMean returns the mean of the k largest recorded samples, each
 // reported as its bucket's midpoint clamped to [Min, Max] — the same
 // bucket-width error bound as Quantile. k clamps to Count; empty

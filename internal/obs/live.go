@@ -27,10 +27,12 @@ type Live struct {
 	Admitted     atomic.Int64 // requests stamped into the gateway order
 	ShedOverflow atomic.Int64 // requests shed for queue overflow
 	ShedDeadline atomic.Int64 // requests shed for blown service windows
+	ShedAdaptive atomic.Int64 // requests shed by the adaptive admission controller
 	Completed    atomic.Int64 // trips dropped off
 	Flushes      atomic.Int64 // batch windows flushed
 	Conflicts    atomic.Int64 // batch conflicts repaired
 	Backlog      atomic.Int64 // requests currently resident in gateway queues
+	ShedLevel    atomic.Int64 // current adaptive shed probability, per mille
 }
 
 // AddRequests increments the submitted-requests counter (nil-safe).
@@ -75,6 +77,21 @@ func (l *Live) AddShedDeadline(n int64) {
 	}
 }
 
+// AddShedAdaptive increments the adaptive-shed counter (nil-safe).
+func (l *Live) AddShedAdaptive(n int64) {
+	if l != nil {
+		l.ShedAdaptive.Add(n)
+	}
+}
+
+// SetShedLevel records the adaptive controller's current shed
+// probability in per mille (nil-safe).
+func (l *Live) SetShedLevel(pm int64) {
+	if l != nil {
+		l.ShedLevel.Store(pm)
+	}
+}
+
 // AddCompleted increments the completed-trips counter (nil-safe).
 func (l *Live) AddCompleted(n int64) {
 	if l != nil {
@@ -112,10 +129,12 @@ type LiveSnapshot struct {
 	Admitted     int64 `json:"admitted"`
 	ShedOverflow int64 `json:"shed_overflow"`
 	ShedDeadline int64 `json:"shed_deadline"`
+	ShedAdaptive int64 `json:"shed_adaptive"`
 	Completed    int64 `json:"completed"`
 	Flushes      int64 `json:"flushes"`
 	Conflicts    int64 `json:"conflicts"`
 	Backlog      int64 `json:"backlog"`
+	ShedLevel    int64 `json:"shed_level_pm"`
 }
 
 // Snapshot reads every counter (nil-safe: all zeros).
@@ -130,10 +149,12 @@ func (l *Live) Snapshot() LiveSnapshot {
 		Admitted:     l.Admitted.Load(),
 		ShedOverflow: l.ShedOverflow.Load(),
 		ShedDeadline: l.ShedDeadline.Load(),
+		ShedAdaptive: l.ShedAdaptive.Load(),
 		Completed:    l.Completed.Load(),
 		Flushes:      l.Flushes.Load(),
 		Conflicts:    l.Conflicts.Load(),
 		Backlog:      l.Backlog.Load(),
+		ShedLevel:    l.ShedLevel.Load(),
 	}
 }
 

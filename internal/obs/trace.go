@@ -36,6 +36,9 @@ const (
 const (
 	ShedReasonDeadlineAdmit   = 1 // window blown at admission
 	ShedReasonDeadlineRelease = 2 // window blown while queued, caught at release
+	ShedReasonOverflow        = 3 // evicted from a full admission queue
+	ShedReasonAdaptive        = 4 // refused at admission by the adaptive controller
+	ShedReasonWallSLO         = 5 // gateway residence exceeded the wall-clock SLO at release
 )
 
 func (k Kind) String() string {

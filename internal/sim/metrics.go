@@ -95,11 +95,19 @@ type Metrics struct {
 	// full queue under the shed-oldest policy, ShedDeadline requests
 	// dropped because their waiting-time window was already blown before
 	// they could be dispatched. IngressQueuePeak is the deepest any
-	// admission queue ever got.
-	Admitted         int
-	ShedOverflow     int
-	ShedDeadline     int
-	IngressQueuePeak int
+	// admission queue ever got. ShedAdaptive counts requests the
+	// adaptive admission controller refused (probabilistic admission
+	// shed or wall-SLO handoff shed); AdmissionShedPeakPM is the highest
+	// shed level (per mille) the controller reached, and
+	// AdmissionTransitions how many times it crossed between the open
+	// and shedding states.
+	Admitted             int
+	ShedOverflow         int
+	ShedDeadline         int
+	ShedAdaptive         int
+	IngressQueuePeak     int
+	AdmissionShedPeakPM  int
+	AdmissionTransitions int
 
 	// IngressWait is the distribution of wall time (ns) each admitted
 	// request spent in the gateway, admission to handoff.
@@ -243,6 +251,11 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.Admitted += o.Admitted
 	m.ShedOverflow += o.ShedOverflow
 	m.ShedDeadline += o.ShedDeadline
+	m.ShedAdaptive += o.ShedAdaptive
+	if o.AdmissionShedPeakPM > m.AdmissionShedPeakPM {
+		m.AdmissionShedPeakPM = o.AdmissionShedPeakPM
+	}
+	m.AdmissionTransitions += o.AdmissionTransitions
 	if o.IngressQueuePeak > m.IngressQueuePeak {
 		m.IngressQueuePeak = o.IngressQueuePeak
 	}
@@ -258,7 +271,7 @@ func (m *Metrics) Merge(o *Metrics) {
 
 // Shed is the total number of requests the ingress gateway dropped, over
 // every shed reason.
-func (m *Metrics) Shed() int { return m.ShedOverflow + m.ShedDeadline }
+func (m *Metrics) Shed() int { return m.ShedOverflow + m.ShedDeadline + m.ShedAdaptive }
 
 // AddIngressWait records one admitted request's gateway residence time
 // (admission to handoff).
@@ -395,7 +408,10 @@ type Snapshot struct {
 	Admitted           int   `json:"admitted"`
 	ShedOverflow       int   `json:"shed_overflow"`
 	ShedDeadline       int   `json:"shed_deadline"`
+	ShedAdaptive       int   `json:"shed_adaptive"`
 	IngressQueuePeak   int   `json:"ingress_queue_peak"`
+	AdmissionPeakPM    int   `json:"admission_peak_shed_pm"`
+	AdmissionSwitches  int   `json:"admission_transitions"`
 	IngressWaitMeanNs  int64 `json:"ingress_wait_mean_ns"`
 	IngressWaitP99Ns   int64 `json:"ingress_wait_p99_ns"`
 	IngressWaitSamples int   `json:"ingress_wait_samples"`
@@ -459,7 +475,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		Admitted:           m.Admitted,
 		ShedOverflow:       m.ShedOverflow,
 		ShedDeadline:       m.ShedDeadline,
+		ShedAdaptive:       m.ShedAdaptive,
 		IngressQueuePeak:   m.IngressQueuePeak,
+		AdmissionPeakPM:    m.AdmissionShedPeakPM,
+		AdmissionSwitches:  m.AdmissionTransitions,
 		IngressWaitMeanNs:  m.IngressWaitMean().Nanoseconds(),
 		IngressWaitP99Ns:   m.IngressWaitP99().Nanoseconds(),
 		IngressWaitSamples: int(m.IngressWait.Count()),

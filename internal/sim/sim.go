@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sp"
@@ -113,6 +114,13 @@ type Config struct {
 	// Live, when non-nil, receives atomically readable progress counters
 	// that the interval reporter and /metrics endpoint may poll mid-run.
 	Live *obs.Live
+	// Faults, when non-nil, wires the deterministic fault-injection
+	// hooks (internal/faults) into the engine's worker seam: per-shard
+	// fan-out stalls and slowed trial insertions. Injected worker
+	// faults are latency-only, so assignments stay bit-identical to a
+	// fault-free run; a nil injector (the default) is proven
+	// bit-identical to an unhooked engine by the equivalence tests.
+	Faults *faults.Injector
 }
 
 func (c *Config) withDefaults() Config {
@@ -164,6 +172,7 @@ type Simulator struct {
 	candidates []spatial.ObjectID // scratch
 	ring       *obs.Ring          // lifecycle events (nil = tracing off)
 	live       *obs.Live          // live counters (nil = off)
+	fault      *faults.WorkerHook // injected stalls/slow trials (nil = off)
 
 	drainRoundCap int   // test hook; 0 selects DefaultDrainRoundCap
 	drainErr      error // sticky Drain truncation error, surfaced by CheckInvariants
@@ -205,6 +214,7 @@ func New(cfg Config) (*Simulator, error) {
 		metrics: metrics,
 		ring:    cfg.Trace.Ring("sim"),
 		live:    cfg.Live,
+		fault:   cfg.Faults.Worker(),
 	}
 	s.w.SetTrace(s.ring, s.live)
 	for i, p := range Placements(cfg) {
@@ -274,11 +284,13 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 	// ID, which fixes the tie-breaking order.
 	s.candidates = s.grid.Within(s.candidates[:0], px, py, s.w.CandidateRadius(waitMeters))
 
+	s.fault.BeforeFanout()
 	started := time.Now()
 	bestVeh := -1
 	var best Trial
 	for _, id := range s.candidates {
 		v := s.vehicles[int(id)]
+		s.fault.BeforeTrial()
 		s.w.AdvanceTo(v, req.Time)
 		tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps)
 		if !ok {

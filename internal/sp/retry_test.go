@@ -1,0 +1,135 @@
+package sp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/roadnet"
+)
+
+var errFlaky = errors.New("transient")
+
+// scripted is a Fallible whose first failBefore calls (per method-call
+// counter, shared across lookups) fail.
+type scripted struct {
+	failBefore int
+	calls      int
+	dist       float64
+	path       []roadnet.VertexID
+}
+
+func (s *scripted) TryDist(u, v roadnet.VertexID) (float64, error) {
+	s.calls++
+	if s.calls <= s.failBefore {
+		return 0, errFlaky
+	}
+	return s.dist, nil
+}
+
+func (s *scripted) TryPath(u, v roadnet.VertexID) ([]roadnet.VertexID, error) {
+	s.calls++
+	if s.calls <= s.failBefore {
+		return nil, errFlaky
+	}
+	return s.path, nil
+}
+
+func fastOpts() RetryOptions {
+	return RetryOptions{BaseBackoff: time.Microsecond, MaxBackoff: 4 * time.Microsecond}
+}
+
+// TestRetryRecovers: failures shorter than the attempt budget are
+// invisible to the caller — the true value comes back.
+func TestRetryRecovers(t *testing.T) {
+	inner := &scripted{failBefore: 2, dist: 7.5}
+	r := NewRetry(inner, fastOpts())
+	if d := r.Dist(1, 2); d != 7.5 {
+		t.Fatalf("Dist = %v, want 7.5 after recovery", d)
+	}
+	retries, exhausted := r.RetryStats()
+	if retries != 2 || exhausted != 0 {
+		t.Fatalf("stats = %d retries, %d exhausted; want 2/0", retries, exhausted)
+	}
+}
+
+// TestRetryExhausts: persistent failure degrades to the documented
+// sentinels (+Inf dist, nil path) instead of blocking forever.
+func TestRetryExhausts(t *testing.T) {
+	inner := &scripted{failBefore: 1 << 30}
+	r := NewRetry(inner, fastOpts())
+	if d := r.Dist(1, 2); !math.IsInf(d, 1) {
+		t.Fatalf("Dist = %v, want +Inf on exhaustion", d)
+	}
+	if p := r.Path(1, 2); p != nil {
+		t.Fatalf("Path = %v, want nil on exhaustion", p)
+	}
+	retries, exhausted := r.RetryStats()
+	if exhausted != 2 {
+		t.Fatalf("exhausted = %d, want 2", exhausted)
+	}
+	// Default budget is 4 attempts: 3 backoff retries per lookup.
+	if retries != 6 {
+		t.Fatalf("retries = %d, want 6 (3 per exhausted lookup)", retries)
+	}
+	if inner.calls != 8 {
+		t.Fatalf("inner saw %d attempts, want 8 (4 per lookup)", inner.calls)
+	}
+}
+
+// TestRetryBudgetOption: MaxAttempts bounds the tries exactly.
+func TestRetryBudgetOption(t *testing.T) {
+	inner := &scripted{failBefore: 1 << 30}
+	opt := fastOpts()
+	opt.MaxAttempts = 2
+	r := NewRetry(inner, opt)
+	r.Dist(1, 2)
+	if inner.calls != 2 {
+		t.Fatalf("inner saw %d attempts, want 2", inner.calls)
+	}
+}
+
+// stubOracle is a minimal concrete Oracle for unwrap tests.
+type stubOracle struct{ d float64 }
+
+func (s *stubOracle) Dist(u, v roadnet.VertexID) float64          { return s.d }
+func (s *stubOracle) Path(u, v roadnet.VertexID) []roadnet.VertexID { return nil }
+
+// wrapped is a Fallible that also exposes the oracle it decorates, like
+// faults.FlakyOracle does.
+type wrapped struct {
+	scripted
+	inner Oracle
+}
+
+func (w *wrapped) Unwrap() Oracle { return w.inner }
+
+// plainWrap is an Oracle-only decorator.
+type plainWrap struct{ inner Oracle }
+
+func (p *plainWrap) Dist(u, v roadnet.VertexID) float64           { return p.inner.Dist(u, v) }
+func (p *plainWrap) Path(u, v roadnet.VertexID) []roadnet.VertexID { return p.inner.Path(u, v) }
+func (p *plainWrap) Unwrap() Oracle                                { return p.inner }
+
+// TestUnwrapPeels: Unwrap walks arbitrary decorator stacks down to the
+// concrete oracle, including through Retry's Fallible indirection.
+func TestUnwrapPeels(t *testing.T) {
+	base := &stubOracle{d: 3}
+	if got := Unwrap(base); got != Oracle(base) {
+		t.Fatal("Unwrap of a bare oracle changed it")
+	}
+	if got := Unwrap(&plainWrap{inner: &plainWrap{inner: base}}); got != Oracle(base) {
+		t.Fatal("Unwrap failed to peel stacked decorators")
+	}
+	r := NewRetry(&wrapped{inner: base}, fastOpts())
+	if got := Unwrap(r); got != Oracle(base) {
+		t.Fatal("Unwrap failed to peel Retry over an oracle-wrapping Fallible")
+	}
+	// A Fallible that wraps no oracle: Retry.Unwrap reports nil and
+	// Unwrap stops at the Retry itself rather than returning nil.
+	r2 := NewRetry(&scripted{}, fastOpts())
+	if got := Unwrap(r2); got != Oracle(r2) {
+		t.Fatalf("Unwrap over a bare Fallible = %v, want the Retry facade", got)
+	}
+}
