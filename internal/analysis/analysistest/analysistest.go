@@ -1,0 +1,183 @@
+// Package analysistest runs a vetkit analyzer over fixture packages and
+// checks its diagnostics against // want "regexp" comments, mirroring the
+// x/tools package of the same name (reimplemented on the standard library
+// because the module builds offline).
+//
+// Fixtures live under testdata/src/<pkg> relative to the test. Imports
+// between fixture packages resolve against sibling fixture directories;
+// standard-library imports typecheck from $GOROOT/src via the source
+// importer. A `// want "re"` trailing comment expects one diagnostic on
+// its line whose message matches the regexp; multiple quoted regexps
+// expect multiple diagnostics. Lines without a want comment must produce
+// no diagnostics — allowlisted-negative fixtures prove suppression by
+// carrying a //vetkit:allow annotation and no want.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/vetkit"
+)
+
+// Run analyzes each fixture package under testdata/src and reports
+// mismatches between diagnostics and want comments as test errors.
+func Run(t *testing.T, a *vetkit.Analyzer, fixtures ...string) {
+	t.Helper()
+	l := newLoader("testdata/src")
+	for _, fix := range fixtures {
+		pkg := l.load(fix)
+		if pkg.err != nil {
+			t.Errorf("fixture %s: %v", fix, pkg.err)
+			continue
+		}
+		diags, err := vetkit.Run(&vetkit.Target{Fset: l.fset, Files: pkg.files, Pkg: pkg.pkg, Info: pkg.info}, []*vetkit.Analyzer{a})
+		if err != nil {
+			t.Errorf("fixture %s: %v", fix, err)
+			continue
+		}
+		check(t, l.fset, fix, pkg.files, diags)
+	}
+}
+
+type pkgEntry struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+type loader struct {
+	dir   string
+	fset  *token.FileSet
+	cache map[string]*pkgEntry
+	std   types.Importer
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		dir:   dir,
+		fset:  fset,
+		cache: map[string]*pkgEntry{},
+		std:   importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import lets fixture packages import each other by fixture path.
+func (l *loader) Import(path string) (*types.Package, error) {
+	e := l.load(path)
+	return e.pkg, e.err
+}
+
+func (l *loader) load(path string) *pkgEntry {
+	if e, ok := l.cache[path]; ok {
+		return e
+	}
+	e := &pkgEntry{}
+	l.cache[path] = e
+
+	dir := filepath.Join(l.dir, path)
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		e.pkg, e.err = l.std.Import(path)
+		return e
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		e.err = err
+		return e
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, ent.Name()), nil, parser.ParseComments)
+		if err != nil {
+			e.err = err
+			return e
+		}
+		e.files = append(e.files, f)
+	}
+
+	e.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := types.Config{Importer: l}
+	e.pkg, e.err = cfg.Check(path, l.fset, e.files, e.info)
+	return e
+}
+
+// wantRe matches the quoted regexps of a want comment.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// check compares diagnostics with the fixture's want comments.
+func check(t *testing.T, fset *token.FileSet, fix string, files []*ast.File, diags []vetkit.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	expects := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				for _, q := range wantRe.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+					pat := q[1 : len(q)-1]
+					if q[0] == '"' {
+						if unq, err := strconv.Unquote(q); err == nil {
+							pat = unq
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+						continue
+					}
+					expects[k] = append(expects[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for i, re := range expects[k] {
+			if re.MatchString(d.Message) {
+				expects[k] = append(expects[k][:i], expects[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d [%s]: %s", fix, pos.Filename, pos.Line, d.Rule, d.Message)
+		}
+	}
+	for k, res := range expects {
+		for _, re := range res {
+			t.Errorf("%s: missing diagnostic at %s:%d matching %q", fix, k.file, k.line, re)
+		}
+	}
+}

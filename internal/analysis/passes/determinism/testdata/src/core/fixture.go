@@ -1,0 +1,106 @@
+// Package core is a determinism fixture named after an in-scope package:
+// vetkit scopes by package base name, so this self-contained "core"
+// exercises every rule exactly as repro/internal/core would.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall-clock read \(time\.Now\) in deterministic package core`
+	return time.Since(start) // want `wall-clock read \(time\.Since\) in deterministic package core`
+}
+
+func wallClockAllowed() time.Time {
+	return time.Now() //vetkit:allow determinism fixture proves a trailing annotation suppresses the finding on its own line
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand state \(rand\.Intn\)`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors never touch the global Source
+	return r.Intn(10)
+}
+
+func racingSelect(a, b chan int) int {
+	select { // want `select over 2 channels in deterministic package core`
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+func singleSelect(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	default:
+		return -1
+	}
+}
+
+func mapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append into out under map iteration`
+	}
+	return out
+}
+
+func mapAppendAllowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //vetkit:allow determinism the caller sorts the returned keys
+	}
+	return out
+}
+
+func mapLastWrite(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want `write to last under map iteration`
+	}
+	return last
+}
+
+func mapFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `non-integer accumulation into sum under map iteration`
+	}
+	return sum
+}
+
+func mapSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send under map iteration`
+	}
+}
+
+func mapPick(m map[string]int) string {
+	for k := range m {
+		return k // want `return leaks a map iteration variable`
+	}
+	return ""
+}
+
+func mapIntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // commutative integer accumulation: exempt
+	}
+	return total
+}
+
+func mapInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k // map-index store: exempt, distinct slots per key
+	}
+	return out
+}

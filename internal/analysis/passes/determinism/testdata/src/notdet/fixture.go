@@ -1,0 +1,18 @@
+// Package notdet is outside the deterministic package set: identical code
+// to the positive fixture must produce no findings here.
+package notdet
+
+import "time"
+
+func wallClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func mapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

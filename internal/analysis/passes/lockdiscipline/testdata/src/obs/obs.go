@@ -1,0 +1,16 @@
+// Package obs mirrors the real obs.Histogram merge contract.
+package obs
+
+type Histogram struct {
+	counts [64]uint64
+}
+
+// Merge is the documented aggregation path.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+}
+
+// CopyFrom replaces h's contents with o's.
+func (h *Histogram) CopyFrom(o *Histogram) { *h = *o }

@@ -1,0 +1,14 @@
+// Package sim mirrors the real sim.Metrics merge contract: aggregation
+// goes through Merge, and raw field access is legal only here.
+package sim
+
+type Metrics struct {
+	Assigned int64
+	Rejected int64
+}
+
+// Merge is the documented aggregation path.
+func (m *Metrics) Merge(o *Metrics) {
+	m.Assigned += o.Assigned
+	m.Rejected += o.Rejected
+}

@@ -1,0 +1,219 @@
+// Package oracletaxonomy turns the thread-safety taxonomy documented on
+// sp.Oracle into a compile-time check. The taxonomy (internal/sp/oracle.go,
+// README "Invariants"): per-goroutine engines reuse internal search buffers
+// and must never be shared across goroutines; only sp.SharedOracle
+// implementations may be, and sp.WorkerSource bridges the two classes by
+// handing out per-goroutine facades over shared state.
+//
+// The pass flags the two ways a per-goroutine oracle leaks across that
+// boundary in this codebase's shapes:
+//
+//   - a value whose static type implements sp.Oracle but not
+//     sp.SharedOracle captured by (or passed to) a `go` statement;
+//   - a factory closure that returns a captured per-goroutine oracle —
+//     every call hands out the same instance, so a per-shard fan-out
+//     would share unsynchronized search state;
+//   - (in package dispatch) a struct field declared as plain sp.Oracle:
+//     dispatch structs are shared across shards, so oracle-valued fields
+//     must be sp.SharedOracle or derived per shard from a WorkerSource.
+//
+// Values obtained from a WorkerSource facade mint — NewWorkerOracle, or
+// the concrete NewWorker it conventionally delegates to — are exempt: a
+// facade is for the exclusive use of one goroutine, and handing it to one
+// is the intended pattern.
+package oracletaxonomy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/vetkit"
+)
+
+var Analyzer = &vetkit.Analyzer{
+	Name: "oracletaxonomy",
+	Doc: "per-goroutine sp.Oracle values must not cross goroutine boundaries: " +
+		"share only sp.SharedOracle implementations or WorkerSource facades",
+	Run: run,
+}
+
+type checker struct {
+	pass   *vetkit.Pass
+	oracle *types.Interface // sp.Oracle
+	shared *types.Interface // sp.SharedOracle
+	wsrc   *types.Interface // sp.WorkerSource
+	fromWS map[types.Object]bool
+}
+
+func run(pass *vetkit.Pass) error {
+	c := &checker{
+		pass:   pass,
+		oracle: vetkit.NamedInterface(pass.Pkg, "sp", "Oracle"),
+		shared: vetkit.NamedInterface(pass.Pkg, "sp", "SharedOracle"),
+		wsrc:   vetkit.NamedInterface(pass.Pkg, "sp", "WorkerSource"),
+		fromWS: map[types.Object]bool{},
+	}
+	if c.oracle == nil || c.shared == nil {
+		return nil // package graph does not involve the sp taxonomy
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.markWorkerSourced)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.visit)
+	}
+	return nil
+}
+
+// perGoroutine reports whether T is an oracle of the unshared class.
+func (c *checker) perGoroutine(T types.Type) bool {
+	return T != nil && vetkit.Implements(T, c.oracle) && !vetkit.Implements(T, c.shared)
+}
+
+// facadeMint names the methods that hand out per-goroutine facades from a
+// WorkerSource: the interface method, plus the concrete NewWorker it
+// conventionally delegates to (cache.Shared.NewWorkerOracle wraps
+// cache.Shared.NewWorker).
+var facadeMint = map[string]bool{"NewWorkerOracle": true, "NewWorker": true}
+
+// markWorkerSourced records variables initialized straight from a
+// WorkerSource facade mint; those facades are per-goroutine by contract
+// and exempt from the capture checks.
+func (c *checker) markWorkerSourced(n ast.Node) bool {
+	assign, ok := n.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != len(assign.Rhs) {
+		return true
+	}
+	for i, rhs := range assign.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !facadeMint[sel.Sel.Name] {
+			continue
+		}
+		if c.wsrc != nil && !vetkit.Implements(c.pass.TypesInfo.TypeOf(sel.X), c.wsrc) {
+			continue
+		}
+		if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+			c.fromWS[c.pass.TypesInfo.ObjectOf(id)] = true
+		}
+	}
+	return true
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		c.checkGo(n)
+	case *ast.FuncLit:
+		c.checkFactory(n)
+	case *ast.StructType:
+		c.checkDispatchField(n)
+	}
+	return true
+}
+
+// checkGo flags per-goroutine oracles crossing into a spawned goroutine,
+// either as call arguments or as free variables of a function literal.
+func (c *checker) checkGo(g *ast.GoStmt) {
+	for _, arg := range g.Call.Args {
+		if c.perGoroutine(c.pass.TypesInfo.TypeOf(arg)) && !c.exemptIdent(arg) {
+			c.pass.Reportf(arg.Pos(),
+				"per-goroutine oracle passed to a goroutine: its type implements sp.Oracle but not sp.SharedOracle; share a SharedOracle or hand out WorkerSource facades")
+		}
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// One finding per captured variable, at its first use in the literal.
+	first := map[*types.Var]*ast.Ident{}
+	for id, obj := range c.captured(lit) {
+		if !c.perGoroutine(obj.Type()) || c.fromWS[obj] {
+			continue
+		}
+		if prev, ok := first[obj]; !ok || id.Pos() < prev.Pos() {
+			first[obj] = id
+		}
+	}
+	for _, id := range first {
+		c.pass.Reportf(id.Pos(),
+			"per-goroutine oracle %s captured by a goroutine: its type implements sp.Oracle but not sp.SharedOracle; share a SharedOracle or hand out WorkerSource facades", id.Name)
+	}
+}
+
+// checkFactory flags closures that return a captured per-goroutine oracle:
+// such a "factory" yields the same instance on every call, so fan-outs
+// that call it once per shard end up sharing unsynchronized search state.
+func (c *checker) checkFactory(lit *ast.FuncLit) {
+	captured := c.captured(lit)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // nested literal gets its own visit
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			id, ok := res.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, isCaptured := captured[id]
+			if isCaptured && c.perGoroutine(obj.Type()) && !c.fromWS[obj] {
+				c.pass.Reportf(res.Pos(),
+					"factory closure returns the captured per-goroutine oracle %s on every call: callers sharing the factory share its unsynchronized search state; return a fresh instance or a WorkerSource facade", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkDispatchField flags plain sp.Oracle struct fields in the dispatch
+// package: its structs are shared across shards by construction.
+func (c *checker) checkDispatchField(st *ast.StructType) {
+	if vetkit.PkgBase(c.pass.Pkg.Path()) != "dispatch" {
+		return
+	}
+	oracleNamed := vetkit.NamedType(c.pass.Pkg, "sp", "Oracle")
+	if oracleNamed == nil {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if t := c.pass.TypesInfo.TypeOf(field.Type); t != nil && types.Identical(t, oracleNamed) {
+			c.pass.Reportf(field.Pos(),
+				"dispatch struct field declared as plain sp.Oracle: dispatch structs are shared across shards; declare it sp.SharedOracle or derive per-shard facades from an sp.WorkerSource")
+		}
+	}
+}
+
+// exemptIdent reports whether e is an identifier bound to a WorkerSource
+// facade.
+func (c *checker) exemptIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && c.fromWS[c.pass.TypesInfo.ObjectOf(id)]
+}
+
+// captured returns the identifiers inside lit that refer to variables
+// declared outside it.
+func (c *checker) captured(lit *ast.FuncLit) map[*ast.Ident]*types.Var {
+	out := map[*ast.Ident]*types.Var{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			out[id] = v
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package oracletaxonomy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/oracletaxonomy"
+)
+
+func TestOracleTaxonomy(t *testing.T) {
+	analysistest.Run(t, oracletaxonomy.Analyzer, "taxo", "dispatch")
+}

@@ -1,0 +1,14 @@
+// Package dispatch is named after the real dispatch package: its structs
+// are shared across shards, so oracle-valued fields must not be the
+// per-goroutine interface.
+package dispatch
+
+import "sp"
+
+type engine struct {
+	oracle sp.Oracle // want `dispatch struct field declared as plain sp\.Oracle`
+	shared sp.SharedOracle
+	src    sp.WorkerSource
+}
+
+func (e *engine) use() float64 { return e.shared.Dist(0, 1) }

@@ -1,0 +1,17 @@
+// Package sp mirrors the real shortest-path oracle taxonomy: Oracle is the
+// per-goroutine class, SharedOracle the concurrency-safe class, and
+// WorkerSource mints per-goroutine facades over shared state.
+package sp
+
+type Oracle interface {
+	Dist(u, v int) float64
+}
+
+type SharedOracle interface {
+	Oracle
+	ConcurrencySafe()
+}
+
+type WorkerSource interface {
+	NewWorkerOracle() Oracle
+}

@@ -1,0 +1,60 @@
+package taxo
+
+import "sp"
+
+// perG implements sp.Oracle only: it reuses internal search buffers.
+type perG struct{ buf []int }
+
+func (p *perG) Dist(u, v int) float64 { return float64(len(p.buf)) }
+
+// safe implements sp.SharedOracle.
+type safe struct{}
+
+func (s *safe) Dist(u, v int) float64 { return 0 }
+func (s *safe) ConcurrencySafe()      {}
+
+// source implements sp.WorkerSource; NewWorkerOracle delegates to the
+// concrete NewWorker, as cache.Shared does.
+type source struct{ shared safe }
+
+func (s *source) NewWorkerOracle() sp.Oracle { return s.NewWorker() }
+func (s *source) NewWorker() *perG           { return &perG{} }
+
+func capture(o *perG) {
+	go func() {
+		o.Dist(1, 2) // want `per-goroutine oracle o captured by a goroutine`
+		o.Dist(3, 4) // second use: deduplicated, no second finding
+	}()
+}
+
+func captureAllowed(o *perG) {
+	go func() {
+		o.Dist(1, 2) //vetkit:allow oracletaxonomy fixture hands ownership to exactly one goroutine
+	}()
+}
+
+func passArg(o *perG, run func(sp.Oracle)) {
+	go run(o) // want `per-goroutine oracle passed to a goroutine`
+}
+
+func sharedOK(s *safe) {
+	go func() { s.Dist(1, 2) }()
+}
+
+func facadeViaInterface(src *source) {
+	w := src.NewWorkerOracle()
+	go func() { w.Dist(1, 2) }()
+}
+
+func facadeViaConcrete(src *source) {
+	w := src.NewWorker()
+	go func() { w.Dist(1, 2) }()
+}
+
+func leakyFactory(o *perG) func() sp.Oracle {
+	return func() sp.Oracle { return o } // want `factory closure returns the captured per-goroutine oracle o`
+}
+
+func freshFactory() func() sp.Oracle {
+	return func() sp.Oracle { return &perG{} }
+}

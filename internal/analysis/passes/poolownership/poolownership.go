@@ -1,0 +1,258 @@
+// Package poolownership enforces the kinetic-tree node pool's ownership
+// rules (internal/core/nodepool.go): a pooled node is released exactly
+// once, by its owner, and a released candidate must never be committed
+// afterwards. Violations recycle live nodes — a later trial rewrites them
+// under the feet of a committed tree, which the Commit staleness check
+// cannot detect.
+//
+// Three intraprocedural checks, deliberately conservative (straight-line
+// statement sequences only; branch-dependent ownership transfers are not
+// modeled, which keeps the pass free of false positives on the real tree):
+//
+//   - double release: two releases of the same expression in one
+//     statement sequence with no intervening reassignment;
+//   - commit after release: a Commit call consuming an expression that
+//     was already released earlier in the sequence;
+//   - leak on early return: a node obtained from newNode that can reach a
+//     return statement before the function ever uses it (no release, no
+//     escape into a structure or call).
+package poolownership
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/vetkit"
+)
+
+// scopePkgs are the packages that own pooled nodes or retained trials:
+// core allocates and frees treeNodes, sim wraps candidates in Trials, and
+// dispatch releases losing candidates per the retention contract.
+var scopePkgs = map[string]bool{"core": true, "sim": true, "dispatch": true}
+
+var Analyzer = &vetkit.Analyzer{
+	Name: "poolownership",
+	Doc: "pooled kinetic-tree nodes are released exactly once and never " +
+		"committed after release; early returns must not strand fresh nodes",
+	Run: run,
+}
+
+// releaseFuncs are the free functions that consume node ownership.
+var releaseFuncs = map[string]bool{"freeNode": true, "freeTree": true, "freeForest": true}
+
+func run(pass *vetkit.Pass) error {
+	if !scopePkgs[vetkit.PkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *vetkit.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			checkSequence(pass, n.List)
+		case *ast.CaseClause:
+			checkSequence(pass, n.Body)
+		case *ast.CommClause:
+			checkSequence(pass, n.Body)
+		}
+		return true
+	})
+}
+
+// releasedExpr returns the rendered expression whose ownership stmt
+// consumes, when stmt is a top-level release call: freeNode(x)/freeTree(x)/
+// freeForest(x) or x.Release().
+func releasedExpr(stmt ast.Stmt) (string, *ast.CallExpr) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", nil
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if releaseFuncs[fun.Name] && len(call.Args) == 1 {
+			return vetkit.Render(call.Args[0]), call
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Release" && len(call.Args) == 0 {
+			return vetkit.Render(fun.X), call
+		}
+	}
+	return "", nil
+}
+
+// commitArgs returns the rendered arguments of a Commit call in stmt, if
+// any (Tree.Commit(c) and Worker.Commit(v, tr) both consume candidates).
+func commitArgs(stmt ast.Stmt) []string {
+	var out []string
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Commit" {
+			return true
+		}
+		for _, a := range call.Args {
+			out = append(out, vetkit.Render(a))
+		}
+		return true
+	})
+	return out
+}
+
+// assignedRoots returns the root identifiers stmt assigns to (which resets
+// ownership tracking for every expression rooted at them).
+func assignedRoots(stmt ast.Stmt) map[string]bool {
+	out := map[string]bool{}
+	collect := func(e ast.Expr) {
+		if id := vetkit.RootIdent(e); id != nil {
+			out[id.Name] = true
+		}
+	}
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			collect(lhs)
+		}
+	case *ast.IncDecStmt:
+		collect(s.X)
+	case *ast.RangeStmt:
+		if s.Key != nil {
+			collect(s.Key)
+		}
+		if s.Value != nil {
+			collect(s.Value)
+		}
+	}
+	return out
+}
+
+// checkSequence runs the double-release, commit-after-release, and
+// leak-on-early-return checks over one straight-line statement list.
+func checkSequence(pass *vetkit.Pass, stmts []ast.Stmt) {
+	released := map[string]ast.Node{} // rendered expr -> releasing call
+	for _, stmt := range stmts {
+		// Reassignment of a root identifier hands its old value away (or
+		// replaces it): drop every tracked expression rooted there.
+		if roots := assignedRoots(stmt); len(roots) > 0 {
+			for expr := range released {
+				if id := exprRoot(expr); roots[id] {
+					delete(released, expr)
+				}
+			}
+		}
+		for _, arg := range commitArgs(stmt) {
+			if rel, ok := released[arg]; ok {
+				pass.Reportf(stmt.Pos(),
+					"%s committed after being released at %s: its nodes may already be rewritten by a later trial, and the Commit staleness check cannot detect that",
+					arg, pass.Fset.Position(rel.Pos()))
+			}
+		}
+		if expr, call := releasedExpr(stmt); call != nil {
+			if prev, ok := released[expr]; ok {
+				pass.Reportf(call.Pos(),
+					"%s released twice (previous release at %s): a pooled node must be released exactly once, by its owner",
+					expr, pass.Fset.Position(prev.Pos()))
+			}
+			released[expr] = call
+		}
+		checkLeak(pass, stmt, stmts)
+	}
+}
+
+// checkLeak flags nodes from newNode() that can reach a return before the
+// function uses them at all: the node is neither released nor escaped, so
+// it is lost to the pool (and to the GC accounting the pool exists for).
+func checkLeak(pass *vetkit.Pass, stmt ast.Stmt, stmts []ast.Stmt) {
+	assign, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "newNode" {
+		return
+	}
+	node, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || node.Name == "_" {
+		return
+	}
+
+	// Scan the statements after the acquisition. The first statement that
+	// mentions the node ends the window: from there on, ownership is the
+	// mentioning code's problem (released, escaped, or handed off).
+	idx := -1
+	for i, s := range stmts {
+		if s == stmt {
+			idx = i
+			break
+		}
+	}
+	for _, s := range stmts[idx+1:] {
+		if mentions(s, node.Name) {
+			return
+		}
+		if ret := firstReturn(s); ret != nil {
+			pass.Reportf(ret.Pos(),
+				"return may leak pooled node %s (acquired from newNode at %s and never used, released, or escaped before this return)",
+				node.Name, pass.Fset.Position(call.Pos()))
+			return
+		}
+	}
+}
+
+// mentions reports whether the statement references the identifier name.
+func mentions(s ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// firstReturn returns a return statement contained anywhere in s, or nil.
+func firstReturn(s ast.Stmt) *ast.ReturnStmt {
+	var ret *ast.ReturnStmt
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a return inside a closure does not exit this function
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok && ret == nil {
+			ret = r
+		}
+		return ret == nil
+	})
+	return ret
+}
+
+// exprRoot extracts the leading identifier of a rendered expression
+// ("best.trial" -> "best").
+func exprRoot(rendered string) string {
+	for i := 0; i < len(rendered); i++ {
+		if rendered[i] == '.' || rendered[i] == '[' {
+			return rendered[:i]
+		}
+	}
+	return rendered
+}

@@ -1,0 +1,12 @@
+package poolownership_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/poolownership"
+)
+
+func TestPoolOwnership(t *testing.T) {
+	analysistest.Run(t, poolownership.Analyzer, "core")
+}

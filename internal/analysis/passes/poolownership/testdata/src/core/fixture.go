@@ -1,0 +1,62 @@
+// Package core is a poolownership fixture named after the package that
+// owns the real node pool; the shapes below mirror nodepool.go's contract.
+package core
+
+type node struct{ next *node }
+
+func newNode() *node   { return &node{} }
+func freeNode(n *node) { n.next = nil }
+
+type tree struct{ root *node }
+
+func (t *tree) Commit(n *node) { t.root = n }
+func (t *tree) Release()       { t.root = nil }
+
+func doubleRelease(n *node) {
+	freeNode(n)
+	freeNode(n) // want `n released twice \(previous release at`
+}
+
+func allowedDoubleRelease(n *node) {
+	freeNode(n)
+	//vetkit:allow poolownership fixture proves the annotation-above form suppresses the release below
+	freeNode(n)
+}
+
+func releaseReacquire(n *node) {
+	freeNode(n)
+	n = newNode() // reassignment hands the old value away: tracking resets
+	freeNode(n)
+}
+
+func commitAfterRelease(t *tree, n *node) {
+	freeNode(n)
+	t.Commit(n) // want `n committed after being released at`
+}
+
+func commitThenRelease(t *tree, n *node) {
+	t.Commit(n)
+	freeNode(n)
+}
+
+func methodDoubleRelease(t *tree) {
+	t.Release()
+	t.Release() // want `t released twice \(previous release at`
+}
+
+func leakOnEarlyReturn(cond bool) *node {
+	n := newNode()
+	if cond {
+		return nil // want `return may leak pooled node n`
+	}
+	return n
+}
+
+func releasedBeforeReturn(cond bool) *node {
+	n := newNode()
+	if cond {
+		freeNode(n)
+		return nil
+	}
+	return n
+}

@@ -1,0 +1,198 @@
+// Package unitchecker implements the side of the `go vet -vettool`
+// protocol a custom analysis driver must speak, on the standard library
+// alone (the x/tools implementation cannot be vendored into this offline
+// module). The go command:
+//
+//   - probes `tool -V=full` for a content-addressed version line (used as
+//     the cache key for vet results);
+//   - probes `tool -flags` for a JSON description of the tool's flags;
+//   - then invokes `tool <file>.cfg` once per package, with a JSON config
+//     naming the source files, the import map, and the export-data file
+//     of every dependency (see cmd/go/internal/work.vetConfig).
+//
+// The driver typechecks the package against compiler export data, runs
+// the vetkit analyzers, prints findings as file:line:col lines on stderr
+// and exits 2 when any survive — which go vet reports and turns into a
+// nonzero exit. Dependency invocations (VetxOnly) short-circuit: the
+// vetkit passes keep no cross-package facts, so only an empty facts file
+// is written to satisfy the protocol and enable go's result caching.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/vetkit"
+)
+
+// config mirrors cmd/go/internal/work.vetConfig (the fields this driver
+// consumes; unknown fields are ignored by encoding/json).
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool binary: parse the protocol
+// arguments, run the analyzers, exit. It does not return.
+func Main(analyzers ...*vetkit.Analyzer) {
+	args := os.Args[1:]
+	if len(args) == 1 && args[0] == "-V=full" {
+		printVersion()
+		os.Exit(0)
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// No tool-specific flags: suppression is per-site via
+		// //vetkit:allow, not per-run via flags.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	if len(args) == 0 || !strings.HasSuffix(args[len(args)-1], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: expected -V=full, -flags, or a .cfg file (this tool is driven by go vet -vettool=%s)\n",
+			progname(), progname())
+		os.Exit(1)
+	}
+	os.Exit(run(args[len(args)-1], analyzers))
+}
+
+func progname() string {
+	name := os.Args[0]
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// printVersion emits the `name version devel buildID=<hash>` line the go
+// command parses; hashing the executable makes vet result caching
+// content-addressed, so a rebuilt vetkit invalidates stale cached runs.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname(), h.Sum(nil))
+}
+
+func run(cfgFile string, analyzers []*vetkit.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return fail(err)
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fail(fmt.Errorf("parsing %s: %w", cfgFile, err))
+	}
+
+	// The protocol expects a facts file even from a fact-free tool; its
+	// presence is also what lets the go command cache this invocation.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("vetkit: no facts\n"), 0o666); err != nil {
+			return fail(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: no facts to compute, nothing to report
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			return fail(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	var typeErr error
+	tcfg := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil || typeErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0 // the compile step reports the error; vet stays quiet
+		}
+		if typeErr == nil {
+			typeErr = err
+		}
+		return fail(typeErr)
+	}
+
+	diags, err := vetkit.Run(&vetkit.Target{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	if err != nil {
+		return fail(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Rule)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", progname(), err)
+	return 1
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,43 @@
+package vetkit
+
+import "go/ast"
+
+// RootIdent walks selector/index/star/paren chains to the base identifier
+// of an lvalue-ish expression, or nil when there is none (e.g. a call).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Render prints a compact source form of a selector/index chain for
+// diagnostics and for syntactic expression identity ("same lvalue").
+func Render(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return Render(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return Render(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + Render(x.X)
+	case *ast.ParenExpr:
+		return Render(x.X)
+	default:
+		return "state"
+	}
+}

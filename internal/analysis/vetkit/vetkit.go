@@ -1,0 +1,202 @@
+// Package vetkit is the analysis framework behind cmd/vetkit: a minimal,
+// dependency-free analogue of golang.org/x/tools/go/analysis (the module
+// builds offline, so the x/tools driver cannot be vendored). It defines
+// the Analyzer/Pass contract the passes under internal/analysis/passes
+// implement, the //vetkit:allow suppression annotation, and the shared
+// runner that applies suppressions and validates annotations.
+//
+// The checked invariants themselves — bit-identical determinism, the
+// sp.Oracle thread-safety taxonomy, exactly-once kinetic-tree node
+// release, and lock/merge discipline — are documented in the README's
+// "Invariants" section; each analyzer's Doc string names the rule it
+// enforces.
+package vetkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Name doubles as the rule name accepted by
+// //vetkit:allow annotations.
+type Analyzer struct {
+	Name string // short lower-case rule name, e.g. "determinism"
+	Doc  string // one-paragraph description of the invariant enforced
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information through an
+// Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, attributed to the rule that produced it.
+type Diagnostic struct {
+	Pos     token.Pos
+	Rule    string
+	Message string
+}
+
+// Reportf records a finding at pos. Findings covered by a matching
+// //vetkit:allow annotation are filtered by the runner, not here.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     pos,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgBase returns the last segment of a package path: the taxonomy the
+// passes scope themselves with ("repro/internal/core" and an analysistest
+// fixture package "core" are both base "core").
+func PkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Target is one typechecked package handed to Run.
+type Target struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run executes the analyzers over one package, applies //vetkit:allow
+// suppressions, and returns the surviving diagnostics sorted by position:
+// the passes' own findings, malformed-annotation diagnostics, and one
+// diagnostic per allow annotation that suppressed nothing (an annotation
+// on the wrong line is a lie about the code and must not linger).
+//
+// Unused-allow validation only covers rules whose analyzer is in this
+// run, so a single-analyzer analysistest run does not false-positive on
+// another rule's annotations.
+func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows, allowDiags := ParseAllows(t.Fset, t.Files)
+
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.Info,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	out := allowDiags
+	for _, d := range raw {
+		if allows.suppress(t.Fset.Position(d.Pos), d.Rule) {
+			continue
+		}
+		out = append(out, d)
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	out = append(out, allows.unused(ran)...)
+
+	sort.SliceStable(out, func(i, j int) bool { return less(t.Fset, out[i], out[j]) })
+	return out, nil
+}
+
+func less(fset *token.FileSet, a, b Diagnostic) bool {
+	pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}
+
+// --- shared type helpers used by several passes ---
+
+// NamedInterface resolves the named interface type `name` declared in a
+// package whose base is pkgBase, looking through the target package and
+// everything it imports. It returns nil when no such interface is in the
+// type graph (the pass then has nothing to check).
+func NamedInterface(pkg *types.Package, pkgBase, name string) *types.Interface {
+	for _, p := range append([]*types.Package{pkg}, allImports(pkg)...) {
+		if PkgBase(p.Path()) != pkgBase {
+			continue
+		}
+		obj := p.Scope().Lookup(name)
+		if obj == nil {
+			continue
+		}
+		if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+			return iface
+		}
+	}
+	return nil
+}
+
+// NamedType resolves the named (non-interface) type `name` declared in a
+// package whose base is pkgBase, or nil.
+func NamedType(pkg *types.Package, pkgBase, name string) types.Type {
+	for _, p := range append([]*types.Package{pkg}, allImports(pkg)...) {
+		if PkgBase(p.Path()) != pkgBase {
+			continue
+		}
+		if obj := p.Scope().Lookup(name); obj != nil {
+			if _, ok := obj.(*types.TypeName); ok {
+				return obj.Type()
+			}
+		}
+	}
+	return nil
+}
+
+// allImports returns the transitive imports of pkg.
+func allImports(pkg *types.Package) []*types.Package {
+	seen := map[*types.Package]bool{pkg: true}
+	var out []*types.Package
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if !seen[imp] {
+				seen[imp] = true
+				out = append(out, imp)
+				walk(imp)
+			}
+		}
+	}
+	walk(pkg)
+	return out
+}
+
+// Implements reports whether T or *T satisfies iface.
+func Implements(T types.Type, iface *types.Interface) bool {
+	if iface == nil || T == nil {
+		return false
+	}
+	if types.Implements(T, iface) {
+		return true
+	}
+	if _, ok := T.Underlying().(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(T), iface)
+	}
+	return false
+}

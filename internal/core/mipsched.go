@@ -382,7 +382,7 @@ func (m *MIPScheduler) Schedule(inst *Instance) Result {
 		opts.InitialBound = warmCost + 1e-6
 	}
 	if m.timeBudget > 0 {
-		opts.Deadline = time.Now().Add(m.timeBudget)
+		opts.Deadline = time.Now().Add(m.timeBudget) //vetkit:allow determinism operator time budget: the MIP deadline is an explicit wall-clock knob, zero (off) in equivalence runs
 	}
 	sol, err := model.Solve(opts)
 	if err != nil || !sol.Found {

@@ -218,8 +218,10 @@ func ValidateOrder(inst *Instance, oracle sp.Oracle, order []Stop) (float64, err
 		}
 		need[s]--
 	}
-	for s, n := range need {
-		if n != 0 {
+	// Walk the instance's own stop order, not the map, so the same stop is
+	// named in the error on every run.
+	for _, s := range inst.PendingStops() {
+		if need[s] != 0 {
 			return 0, fmt.Errorf("core: stop %v missing from schedule", s)
 		}
 	}

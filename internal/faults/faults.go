@@ -231,15 +231,15 @@ func splitmix64(x uint64) uint64 {
 // Stats aggregates injection counts across every hook the injector
 // handed out. Read only at quiescence (after Drive/Drain return).
 type Stats struct {
-	Crashes        int // producer crash events (each drops a span)
-	Dropped        int // requests lost to crashes
-	Skewed         int // requests with skewed timestamps
-	Bursted        int // requests with collapsed timestamps
-	Panics         int // ActionPanic verdicts issued
-	Stalls         int // worker fan-out stalls
-	SlowTrials     int // slowed trial insertions
-	OracleErrors   int // injected transient lookup errors
-	OracleSpikes   int // injected lookup latency spikes
+	Crashes      int // producer crash events (each drops a span)
+	Dropped      int // requests lost to crashes
+	Skewed       int // requests with skewed timestamps
+	Bursted      int // requests with collapsed timestamps
+	Panics       int // ActionPanic verdicts issued
+	Stalls       int // worker fan-out stalls
+	SlowTrials   int // slowed trial insertions
+	OracleErrors int // injected transient lookup errors
+	OracleSpikes int // injected lookup latency spikes
 }
 
 // Zero reports whether nothing was injected.
@@ -474,7 +474,7 @@ var plans = map[string]Plan{
 func PlanNames() []string {
 	names := make([]string, 0, len(plans))
 	for n := range plans {
-		names = append(names, n)
+		names = append(names, n) //vetkit:allow determinism sort.Strings below makes the returned order deterministic
 	}
 	sort.Strings(names)
 	return names

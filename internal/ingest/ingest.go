@@ -199,8 +199,8 @@ type Gateway struct {
 	// Drainer-owned state; touched only by Drain's goroutine.
 	heap         stampHeap
 	admitted     int
-	ctrl         *controller // nil unless Policy == Adaptive
-	shedDeadline atomic.Int64 // admission-side sheds come from producers
+	ctrl         *controller    // nil unless Policy == Adaptive
+	shedDeadline atomic.Int64   // admission-side sheds come from producers
 	waitHist     *obs.Histogram // gateway residence wall time, ns
 	lagHist      *obs.Histogram // release lag in simulated ms, Now()-req.Time
 	drainRing    *obs.Ring      // release/shed lifecycle events (nil = off)
@@ -377,7 +377,7 @@ func (p *Producer) Submit(req sim.Request) bool {
 			}
 		}
 	}
-	s := stamped{req: req, seq: g.seq.Add(1), wall: time.Now(), prod: p.id}
+	s := stamped{req: req, seq: g.seq.Add(1), wall: time.Now(), prod: p.id} //vetkit:allow determinism admission wall stamp: feeds the wall-clock SLO policy, which is wall-time by definition
 	p.ring.Emit(obs.KindAdmitted, req.ID, req.Time, int64(s.seq))
 	g.cfg.Live.AddAdmitted(1)
 	qi := dispatch.ShardIndex(req.ID, len(g.queues))
@@ -483,7 +483,7 @@ func (g *Gateway) Drain(sink func(sim.Request)) {
 				g.drainRing.Emit(obs.KindShed, s.req.ID, s.req.Time, obs.ShedReasonDeadlineRelease)
 				continue
 			}
-			wait := time.Since(s.wall)
+			wait := time.Since(s.wall) //vetkit:allow determinism wall-clock SLO wait: the Adaptive policy sheds on real elapsed time by design
 			if policy == Adaptive && wait > g.cfg.WallSLO {
 				// The request already blew the operator's latency SLO
 				// inside the gateway; handing it to the engine would

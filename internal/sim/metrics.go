@@ -185,7 +185,7 @@ func (m *Metrics) ART(active int) (time.Duration, int) {
 func (m *Metrics) ARTBuckets() []int {
 	out := make([]int, 0, len(m.artCount))
 	for k := range m.artCount {
-		out = append(out, k)
+		out = append(out, k) //vetkit:allow determinism sort.Ints below makes the returned order deterministic
 	}
 	sort.Ints(out)
 	return out

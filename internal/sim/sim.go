@@ -285,7 +285,7 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 	s.candidates = s.grid.Within(s.candidates[:0], px, py, s.w.CandidateRadius(waitMeters))
 
 	s.fault.BeforeFanout()
-	started := time.Now()
+	started := time.Now() //vetkit:allow determinism ACRT metric only; candidate selection depends on trials, not time
 	bestVeh := -1
 	var best Trial
 	for _, id := range s.candidates {
@@ -304,7 +304,7 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 			tr.Release()
 		}
 	}
-	s.metrics.recordACRT(time.Since(started))
+	s.metrics.recordACRT(time.Since(started)) //vetkit:allow determinism ACRT metric only
 	s.ring.Emit(obs.KindTrialed, req.ID, req.Time, int64(len(s.candidates)))
 
 	if bestVeh < 0 {

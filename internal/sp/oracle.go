@@ -32,6 +32,12 @@ import (
 // A WorkerSource bridges the two classes: it is shared state that hands
 // out per-goroutine facades, so a worker pool can amortize one cache
 // across all workers while keeping each worker's hot path single-threaded.
+//
+// The taxonomy is machine-enforced: the oracletaxonomy pass in cmd/vetkit
+// flags per-goroutine oracles crossing a goroutine boundary, factories
+// that hand out one captured instance, and dispatch fields typed as plain
+// Oracle. See the "Invariants" table in the README for the full rule set
+// and the //vetkit:allow escape hatch.
 type Oracle interface {
 	// Dist returns the shortest-path cost from u to v in meters,
 	// or +Inf if v is unreachable from u.

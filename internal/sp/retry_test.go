@@ -93,7 +93,7 @@ func TestRetryBudgetOption(t *testing.T) {
 // stubOracle is a minimal concrete Oracle for unwrap tests.
 type stubOracle struct{ d float64 }
 
-func (s *stubOracle) Dist(u, v roadnet.VertexID) float64          { return s.d }
+func (s *stubOracle) Dist(u, v roadnet.VertexID) float64            { return s.d }
 func (s *stubOracle) Path(u, v roadnet.VertexID) []roadnet.VertexID { return nil }
 
 // wrapped is a Fallible that also exposes the oracle it decorates, like
@@ -108,7 +108,7 @@ func (w *wrapped) Unwrap() Oracle { return w.inner }
 // plainWrap is an Oracle-only decorator.
 type plainWrap struct{ inner Oracle }
 
-func (p *plainWrap) Dist(u, v roadnet.VertexID) float64           { return p.inner.Dist(u, v) }
+func (p *plainWrap) Dist(u, v roadnet.VertexID) float64            { return p.inner.Dist(u, v) }
 func (p *plainWrap) Path(u, v roadnet.VertexID) []roadnet.VertexID { return p.inner.Path(u, v) }
 func (p *plainWrap) Unwrap() Oracle                                { return p.inner }
 
