@@ -423,6 +423,75 @@ func BenchmarkDispatchThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkTracedOverheadGuard: the acceptance guard for the observability
+// layer's hot-path cost. It runs the BenchmarkDispatchThroughput/workers=1
+// workload twice per round — untraced, then with full instrumentation
+// (lifecycle events + causal spans + live counters) — interleaved, and
+// compares the MINIMUM wall time of each variant across the rounds:
+// min-of-N is robust to scheduler noise where means are not, so the guard
+// can hard-fail instead of merely reporting. Traced must stay within 5%
+// of untraced. Run with -benchtime=1x (the paired measurement is internal
+// and independent of b.N).
+func BenchmarkTracedOverheadGuard(b *testing.B) {
+	world, err := exp.BuildWorld(exp.WorldOptions{Scale: 0.006, Trips: 150, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func() sp.Oracle {
+		return cache.New(sp.NewBidirectional(world.Graph), world.Graph.N(), 1<<20, 1<<12)
+	}
+	run := func(traced bool) time.Duration {
+		cfg := sim.Config{
+			Graph:     world.Graph,
+			Servers:   600,
+			Capacity:  4,
+			Algorithm: sim.AlgoTreeSlack,
+			Seed:      9,
+			Workers:   1,
+		}
+		if traced {
+			cfg.Trace = obs.NewTracer(0)
+			cfg.Live = &obs.Live{}
+		}
+		e, err := dispatch.New(cfg, factory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		for j := range world.Requests {
+			e.Submit(world.Requests[j])
+		}
+		elapsed := time.Since(start)
+		if e.Metrics().Matched == 0 {
+			b.Fatal("nothing matched")
+		}
+		e.Close()
+		return elapsed
+	}
+	// One warmup of each variant primes the oracle caches and the
+	// allocator before anything is timed.
+	run(false)
+	run(true)
+	const rounds = 7
+	for i := 0; i < b.N; i++ {
+		var minOff, minOn time.Duration
+		for r := 0; r < rounds; r++ {
+			if off := run(false); r == 0 || off < minOff {
+				minOff = off
+			}
+			if on := run(true); r == 0 || on < minOn {
+				minOn = on
+			}
+		}
+		overhead := float64(minOn-minOff) / float64(minOff)
+		b.ReportMetric(overhead*100, "traced-overhead-%")
+		if overhead > 0.05 {
+			b.Fatalf("traced run overhead %.2f%% (untraced min %v, traced min %v) exceeds the 5%% budget",
+				overhead*100, minOff, minOn)
+		}
+	}
+}
+
 // BenchmarkDispatchCacheHitRate: the shared-vs-per-shard distance cache
 // comparison on a multi-shard workload. Both configurations run the same
 // fleet and request stream at 4 workers / 4 shards; "per-shard" gives each

@@ -84,6 +84,7 @@ type options struct {
 	queueDepth   int
 	shedPolicy   string
 	slo          time.Duration
+	sloObjective float64
 	faultPlan    string
 	arrival      string
 	obsAddr      string
@@ -120,6 +121,7 @@ func main() {
 	flag.IntVar(&o.queueDepth, "queue-depth", 256, "per-shard ingress queue capacity")
 	flag.StringVar(&o.shedPolicy, "shed-policy", "block", "ingress backpressure policy: block, shed-oldest, deadline, adaptive")
 	flag.DurationVar(&o.slo, "slo", 500*time.Millisecond, "wall-clock ingress residence SLO defended by the adaptive admission controller")
+	flag.Float64Var(&o.sloObjective, "slo-objective", 0.99, "fraction of requests that must meet -slo; drives the error-budget burn account (gateway runs)")
 	flag.StringVar(&o.faultPlan, "fault-plan", "", "deterministic fault-injection plan: none, "+strings.Join(faults.PlanNames(), ", "))
 	flag.StringVar(&o.arrival, "arrival", "", "streaming workload pattern: poisson, surge, hotspot (default: replay the built trace)")
 	flag.StringVar(&o.obsAddr, "obs-addr", "", "serve live /metrics JSON and /debug/pprof on this address (e.g. localhost:6060, :0)")
@@ -224,20 +226,29 @@ func run(o options) error {
 	// matching outcomes either way.
 	var tracer *obs.Tracer
 	var live *obs.Live
+	var slo *obs.SLOTracker
 	if o.traceOut != "" {
 		tracer = obs.NewTracer(o.traceCap)
 	}
 	if o.obsAddr != "" || o.obsInterval > 0 {
 		live = &obs.Live{}
 	}
+	if o.producers > 0 {
+		// Error-budget burn accounting only makes sense where the wall-SLO
+		// is defended: gateway runs. The tracker feeds Live's burn gauge
+		// and the end-of-run SLO summary.
+		slo = obs.NewSLOTracker(o.sloObjective, 0)
+	}
 	if o.obsAddr != "" {
-		srv, err := obs.Serve(o.obsAddr, func() any { return live.Snapshot() })
+		srv, err := obs.Serve(o.obsAddr,
+			func() any { return live.Snapshot() },
+			func(pw *obs.PromWriter) { promMetrics(pw, live, slo) })
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		if !o.jsonOut {
-			fmt.Printf("observability: /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+			fmt.Printf("observability: /metrics (JSON + Prometheus) and /debug/pprof/ on http://%s\n", srv.Addr())
 		}
 	}
 	if o.obsInterval > 0 {
@@ -306,6 +317,9 @@ func run(o options) error {
 	var inj *faults.Injector
 	if plan.Enabled() {
 		inj = faults.New(plan)
+		// Before any hook is handed out, so injected latency shows up as
+		// overlay spans in the drained trace.
+		inj.SetTrace(tracer)
 	}
 	retryOpts := sp.RetryOptions{Seed: uint64(o.seed)}
 	wrapFault := func(oracle sp.Oracle) sp.Oracle {
@@ -370,7 +384,7 @@ func run(o options) error {
 				eng.Workers(), eng.Shards(), o.batchWin)
 		}
 		if o.producers > 0 {
-			m, ds, wall, err = runGateway(o, inj, eng.Shards(), cfg.WaitSeconds, tracer, live, src,
+			m, ds, wall, err = runGateway(o, inj, eng.Shards(), cfg.WaitSeconds, tracer, live, slo, src,
 				func(r sim.Request) { eng.Enqueue(r) },
 				func() error { eng.Flush(); return eng.Drain() },
 				eng.Metrics)
@@ -399,7 +413,7 @@ func run(o options) error {
 			return err
 		}
 		if o.producers > 0 {
-			m, ds, wall, err = runGateway(o, inj, 1, cfg.WaitSeconds, tracer, live, src,
+			m, ds, wall, err = runGateway(o, inj, 1, cfg.WaitSeconds, tracer, live, slo, src,
 				func(r sim.Request) { s.Submit(r) },
 				s.Drain,
 				s.Metrics)
@@ -444,7 +458,7 @@ func run(o options) error {
 			return fmt.Errorf("trace drain: %w", derr)
 		}
 		if !o.jsonOut {
-			fmt.Printf("trace: %d events -> %s (%d dropped by ring caps)\n", written, o.traceOut, dropped)
+			fmt.Printf("trace: %d records (events + spans) -> %s (%d dropped by ring caps)\n", written, o.traceOut, dropped)
 		}
 	}
 
@@ -484,6 +498,11 @@ func run(o options) error {
 			fmt.Printf("admission: SLO %v; shed level peak %d‰, %d controller transitions\n",
 				o.slo, m.AdmissionShedPeakPM, m.AdmissionTransitions)
 		}
+		if slo != nil {
+			snap := slo.Snapshot()
+			fmt.Printf("slo: objective %.2f%% within %v; good %d, bad %d; error budget consumed %.1f%%; burn %.2fx\n",
+				m.SLOObjective*100, o.slo, m.SLOGood, m.SLOBad, m.SLOBudgetConsumed()*100, snap.BurnRate)
+		}
 	}
 	if inj != nil {
 		fmt.Printf("faults: plan %s; %s\n", plan.Name, inj.Stats())
@@ -512,10 +531,10 @@ func run(o options) error {
 // the drain instead of being lost in a dead goroutine — Drive's recovery
 // path closes the panicked producer's watermark, so the drain itself
 // never deadlocks on it.
-func runGateway(o options, inj *faults.Injector, queues int, waitSeconds float64, tracer *obs.Tracer, live *obs.Live,
+func runGateway(o options, inj *faults.Injector, queues int, waitSeconds float64, tracer *obs.Tracer, live *obs.Live, slo *obs.SLOTracker,
 	src ingest.Source, sink func(sim.Request), drain func() error, metrics func() *sim.Metrics,
 ) (*sim.Metrics, ingest.DriveStats, time.Duration, error) {
-	gw, err := newGateway(o, queues, waitSeconds, tracer, live)
+	gw, err := newGateway(o, queues, waitSeconds, tracer, live, slo)
 	if err != nil {
 		return nil, ingest.DriveStats{}, 0, err
 	}
@@ -546,7 +565,7 @@ func runGateway(o options, inj *faults.Injector, queues int, waitSeconds float64
 // admission queue per engine shard (keyed by dispatch.ShardIndex), the
 // configured backpressure policy, and the fleet waiting-time window for
 // deadline shedding.
-func newGateway(o options, queues int, waitSeconds float64, tracer *obs.Tracer, live *obs.Live) (*ingest.Gateway, error) {
+func newGateway(o options, queues int, waitSeconds float64, tracer *obs.Tracer, live *obs.Live, slo *obs.SLOTracker) (*ingest.Gateway, error) {
 	policy, err := ingest.ParsePolicy(o.shedPolicy)
 	if err != nil {
 		return nil, err
@@ -557,9 +576,38 @@ func newGateway(o options, queues int, waitSeconds float64, tracer *obs.Tracer, 
 		Policy:      policy,
 		WaitSeconds: waitSeconds,
 		WallSLO:     o.slo,
+		SLO:         slo,
 		Trace:       tracer,
 		Live:        live,
 	}), nil
+}
+
+// promMetrics renders the live counter surface (and, on gateway runs, the
+// SLO error-budget account) in the Prometheus text format for /metrics
+// scrapes. Everything here is atomics or mutex-guarded snapshots — safe
+// to read mid-run, unlike the quiescent-only histograms.
+func promMetrics(pw *obs.PromWriter, live *obs.Live, slo *obs.SLOTracker) {
+	s := live.Snapshot()
+	pw.Counter("ridesim_requests_total", "Requests submitted to the matching engine.", s.Requests, nil)
+	pw.Counter("ridesim_matched_total", "Requests assigned a vehicle.", s.Matched, nil)
+	pw.Counter("ridesim_rejected_total", "Requests no vehicle could serve.", s.Rejected, nil)
+	pw.Counter("ridesim_admitted_total", "Requests stamped into the gateway order.", s.Admitted, nil)
+	pw.Counter("ridesim_shed_overflow_total", "Requests shed for queue overflow.", s.ShedOverflow, nil)
+	pw.Counter("ridesim_shed_deadline_total", "Requests shed for blown service windows.", s.ShedDeadline, nil)
+	pw.Counter("ridesim_shed_adaptive_total", "Requests shed by the adaptive admission controller.", s.ShedAdaptive, nil)
+	pw.Counter("ridesim_completed_total", "Trips dropped off.", s.Completed, nil)
+	pw.Counter("ridesim_flushes_total", "Batch windows flushed.", s.Flushes, nil)
+	pw.Counter("ridesim_conflicts_total", "Batch conflicts repaired.", s.Conflicts, nil)
+	pw.Gauge("ridesim_backlog", "Requests currently resident in gateway queues.", float64(s.Backlog), nil)
+	pw.Gauge("ridesim_shed_level_permille", "Adaptive shed probability, per mille.", float64(s.ShedLevel), nil)
+	if slo != nil {
+		snap := slo.Snapshot()
+		pw.Counter("ridesim_slo_good_total", "Requests released within the wall-clock SLO.", snap.Good, nil)
+		pw.Counter("ridesim_slo_bad_total", "Requests released late or shed against the SLO budget.", snap.Bad, nil)
+		pw.Gauge("ridesim_slo_objective", "Configured good-fraction objective.", snap.Objective, nil)
+		pw.Gauge("ridesim_slo_burn_rate", "Rolling-window error-budget burn rate (1 = on budget).", snap.BurnRate, nil)
+		pw.Gauge("ridesim_slo_budget_consumed", "Fraction of the lifetime error budget consumed.", snap.BudgetConsumed, nil)
+	}
 }
 
 // printCacheStats reports the aggregate shortest-path cache efficacy

@@ -1,0 +1,402 @@
+// Command tracetool analyzes drained ridesim lifecycle traces (the JSONL
+// files -trace-out writes): causal-span critical-path reports, per-stage
+// contribution histograms, and trace-to-trace drift detection.
+//
+//	tracetool report [-json] [-top K] trace.jsonl
+//	tracetool hist -stage <stage|total> trace.jsonl
+//	tracetool diff [-structural] [-tol pct] old.jsonl new.jsonl
+//
+// report decomposes every request's wall time into per-stage
+// contributions (internal/obs critical-path rules: concurrent phase-1
+// shard spans contribute their max, match its self time, fault spans
+// overlay), aggregates the fleet-wide attribution, and prints the top-K
+// slowest requests with their span trees.
+//
+// hist prints one stage's per-request contribution distribution as the
+// histogram's non-empty buckets with ASCII bars ("total" selects the
+// whole-request wall distribution).
+//
+// diff compares two traces' attributions. -structural compares the
+// span-count shape (requests and spans per stage) exactly — the mode CI
+// uses against the committed golden trace, since counts are seed-
+// deterministic while timings are not. Without -structural it compares
+// each stage's share of the attributed wall within -tol percentage
+// points. Any drift exits nonzero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "hist":
+		err = cmdHist(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tracetool report [-json] [-top K] trace.jsonl
+  tracetool hist -stage <stage|total> trace.jsonl
+  tracetool diff [-structural] [-tol pct] old.jsonl new.jsonl`)
+	os.Exit(2)
+}
+
+func readTraceFile(path string) (*obs.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadTrace(f)
+}
+
+// stageLine is one stage's row of the report, JSON-stable for the golden
+// comparison.
+type stageLine struct {
+	Stage    string  `json:"stage"`
+	Spans    int     `json:"spans"`
+	Requests int     `json:"requests"`
+	Dominant int     `json:"dominant"`
+	TotalNs  int64   `json:"total_ns"`
+	SharePct float64 `json:"share_pct"`
+	P50Ns    int64   `json:"p50_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+	MaxNs    int64   `json:"max_ns"`
+}
+
+type outlierLine struct {
+	Req      int64    `json:"req"`
+	TotalNs  int64    `json:"total_ns"`
+	Dominant string   `json:"dominant"`
+	Tree     []string `json:"tree"`
+}
+
+type report struct {
+	Events     int           `json:"events"`
+	Spans      int           `json:"spans"`
+	Requests   int           `json:"requests"`
+	WallP50Ns  int64         `json:"wall_p50_ns"`
+	WallP99Ns  int64         `json:"wall_p99_ns"`
+	QueueNs    int64         `json:"queue_ns"`
+	ComputeNs  int64         `json:"compute_ns"`
+	OtherNs    int64         `json:"other_ns"`
+	QueuePct   float64       `json:"queue_pct"`
+	ComputePct float64       `json:"compute_pct"`
+	OtherPct   float64       `json:"other_pct"`
+	Stages     []stageLine   `json:"stages"`
+	Outliers   []outlierLine `json:"outliers,omitempty"`
+}
+
+// pct is a share in percent rounded to 2 decimals, so the JSON report is
+// byte-stable across formatting environments.
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part*10000/whole) / 100
+}
+
+// buildReport runs the critical-path analysis and shapes it for output.
+func buildReport(tr *obs.Trace, topK int) report {
+	a, paths := obs.Analyze(tr)
+	rep := report{
+		Events:    len(tr.Events),
+		Spans:     len(tr.Spans),
+		Requests:  a.Requests,
+		WallP50Ns: a.Total.Quantile(0.50),
+		WallP99Ns: a.Total.Quantile(0.99),
+		QueueNs:   a.QueueNs,
+		ComputeNs: a.ComputeNs,
+		OtherNs:   a.OtherNs,
+	}
+	attributed := a.QueueNs + a.ComputeNs + a.OtherNs
+	rep.QueuePct = pct(a.QueueNs, attributed)
+	rep.ComputePct = pct(a.ComputeNs, attributed)
+	rep.OtherPct = pct(a.OtherNs, attributed)
+	for _, name := range a.StageNames() {
+		st := a.Stages[name]
+		rep.Stages = append(rep.Stages, stageLine{
+			Stage:    name,
+			Spans:    st.Spans,
+			Requests: st.Requests,
+			Dominant: st.Dominant,
+			TotalNs:  st.TotalNs,
+			SharePct: pct(st.TotalNs, attributed),
+			P50Ns:    st.Contrib.Quantile(0.50),
+			P99Ns:    st.Contrib.Quantile(0.99),
+			MaxNs:    st.Contrib.Max(),
+		})
+	}
+	if topK > 0 {
+		sort.Slice(paths, func(i, j int) bool {
+			if paths[i].TotalNs != paths[j].TotalNs {
+				return paths[i].TotalNs > paths[j].TotalNs
+			}
+			return paths[i].Req < paths[j].Req
+		})
+		if topK > len(paths) {
+			topK = len(paths)
+		}
+		for _, p := range paths[:topK] {
+			rep.Outliers = append(rep.Outliers, outlierLine{
+				Req: p.Req, TotalNs: p.TotalNs, Dominant: p.Dominant,
+				Tree: renderTree(&p),
+			})
+		}
+	}
+	return rep
+}
+
+// renderTree renders a request's span tree: children under their Parent
+// span, top-level spans under the synthetic request root, orphans (parent
+// outside this request, e.g. when a ring wrapped) at top level too.
+func renderTree(p *obs.RequestPath) []string {
+	ids := map[uint64]bool{}
+	for _, sp := range p.Spans {
+		ids[sp.ID] = true
+	}
+	children := map[uint64][]obs.SpanRecord{}
+	root := obs.RootSpanID(p.Req)
+	for _, sp := range p.Spans {
+		parent := sp.Parent
+		if parent != root && !ids[parent] {
+			parent = root
+		}
+		children[parent] = append(children[parent], sp)
+	}
+	var lines []string
+	var walk func(id uint64, depth int)
+	walk = func(id uint64, depth int) {
+		for _, sp := range children[id] {
+			lines = append(lines, fmt.Sprintf("%s%s %v arg=%d",
+				strings.Repeat("  ", depth), sp.Stage,
+				time.Duration(sp.DurationNs()), sp.Arg))
+			if sp.ID != id { // self-parented spans would loop forever
+				walk(sp.ID, depth+1)
+			}
+		}
+	}
+	walk(root, 0)
+	return lines
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	topK := fs.Int("top", 5, "slowest requests to show with span trees (0 = none)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	tr, err := readTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep := buildReport(tr, *topK)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	printReport(rep)
+	return nil
+}
+
+func printReport(rep report) {
+	fmt.Printf("trace: %d events, %d spans, %d requests\n", rep.Events, rep.Spans, rep.Requests)
+	fmt.Printf("wall per request: p50 %v, p99 %v\n",
+		time.Duration(rep.WallP50Ns), time.Duration(rep.WallP99Ns))
+	fmt.Printf("queue/compute split: queue %v (%.2f%%), compute %v (%.2f%%), other %v (%.2f%%)\n",
+		time.Duration(rep.QueueNs), rep.QueuePct,
+		time.Duration(rep.ComputeNs), rep.ComputePct,
+		time.Duration(rep.OtherNs), rep.OtherPct)
+	fmt.Printf("\n%-17s %8s %8s %8s %12s %7s %12s %12s\n",
+		"stage", "spans", "reqs", "dominant", "total", "share", "p50", "p99")
+	for _, st := range rep.Stages {
+		fmt.Printf("%-17s %8d %8d %8d %12v %6.2f%% %12v %12v\n",
+			st.Stage, st.Spans, st.Requests, st.Dominant,
+			time.Duration(st.TotalNs), st.SharePct,
+			time.Duration(st.P50Ns), time.Duration(st.P99Ns))
+	}
+	if len(rep.Outliers) > 0 {
+		fmt.Printf("\nslowest %d requests:\n", len(rep.Outliers))
+		for _, o := range rep.Outliers {
+			fmt.Printf("req %d: %v total, dominant %s\n", o.Req, time.Duration(o.TotalNs), o.Dominant)
+			for _, line := range o.Tree {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
+}
+
+func cmdHist(args []string) error {
+	fs := flag.NewFlagSet("hist", flag.ExitOnError)
+	stage := fs.String("stage", "", "stage to plot (one of the report's stages, or \"total\")")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *stage == "" {
+		usage()
+	}
+	tr, err := readTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	a, _ := obs.Analyze(tr)
+	var h *obs.Histogram
+	if *stage == "total" {
+		h = a.Total
+	} else if st := a.Stages[*stage]; st != nil {
+		h = st.Contrib
+	}
+	if h.Count() == 0 {
+		return fmt.Errorf("stage %q has no samples (stages present: total %s)",
+			*stage, strings.Join(a.StageNames(), " "))
+	}
+	fmt.Printf("%s: %s\n", *stage, h)
+	buckets := h.Buckets()
+	var maxCount uint64
+	for _, b := range buckets {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	for _, b := range buckets {
+		bar := strings.Repeat("#", int(b.Count*40/maxCount))
+		if bar == "" {
+			bar = "."
+		}
+		fmt.Printf("%14v .. %-14v %8d %s\n",
+			time.Duration(b.Lo), time.Duration(b.Hi), b.Count, bar)
+	}
+	return nil
+}
+
+// structSig is the seed-deterministic shape of a trace: request count and
+// spans per stage. Timings vary run to run; these must not.
+func structSig(a *obs.Attribution) map[string]int {
+	sig := map[string]int{"__requests__": a.Requests}
+	for name, st := range a.Stages {
+		if name == "other" {
+			// "other" is residual timing, not an emitted span stage.
+			continue
+		}
+		sig[name] = st.Spans
+	}
+	return sig
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	structural := fs.Bool("structural", false, "compare span-count shape exactly (ignore timings)")
+	tol := fs.Float64("tol", 5, "allowed per-stage share drift in percentage points (timing mode)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	trA, err := readTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	trB, err := readTraceFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	var drift []string
+	if *structural {
+		drift = diffStructural(trA, trB)
+	} else {
+		drift = diffTiming(trA, trB, *tol)
+	}
+	if len(drift) > 0 {
+		for _, d := range drift {
+			fmt.Printf("drift: %s\n", d)
+		}
+		return fmt.Errorf("%d drift(s) between %s and %s", len(drift), fs.Arg(0), fs.Arg(1))
+	}
+	fmt.Println("no drift")
+	return nil
+}
+
+func diffStructural(trA, trB *obs.Trace) []string {
+	aAttr, _ := obs.Analyze(trA)
+	bAttr, _ := obs.Analyze(trB)
+	sigA, sigB := structSig(aAttr), structSig(bAttr)
+	keys := map[string]bool{}
+	for k := range sigA {
+		keys[k] = true
+	}
+	for k := range sigB {
+		keys[k] = true
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var drift []string
+	for _, k := range names {
+		if sigA[k] != sigB[k] {
+			label := k
+			if k == "__requests__" {
+				label = "requests"
+			}
+			drift = append(drift, fmt.Sprintf("%s: %d vs %d", label, sigA[k], sigB[k]))
+		}
+	}
+	return drift
+}
+
+func diffTiming(trA, trB *obs.Trace, tol float64) []string {
+	repA := buildReport(trA, 0)
+	repB := buildReport(trB, 0)
+	shares := func(rep report) map[string]float64 {
+		m := map[string]float64{}
+		for _, st := range rep.Stages {
+			m[st.Stage] = st.SharePct
+		}
+		return m
+	}
+	sA, sB := shares(repA), shares(repB)
+	keys := map[string]bool{}
+	for k := range sA {
+		keys[k] = true
+	}
+	for k := range sB {
+		keys[k] = true
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var drift []string
+	for _, k := range names {
+		if d := sA[k] - sB[k]; d > tol || d < -tol {
+			drift = append(drift, fmt.Sprintf("stage %s share: %.2f%% vs %.2f%% (tol %.1fpp)", k, sA[k], sB[k], tol))
+		}
+	}
+	return drift
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func readGolden(t *testing.T) *obs.Trace {
+	t.Helper()
+	tr, err := readTraceFile("testdata/golden.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestGoldenReportReproduced pins the whole analysis chain: the committed
+// golden trace must reproduce the committed attribution byte for byte.
+// If an obs critical-path rule or a report field changes, regenerate with
+//
+//	go run ./cmd/tracetool report -json -top 3 cmd/tracetool/testdata/golden.jsonl
+func TestGoldenReportReproduced(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_report.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := buildReport(readGolden(t), 3)
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report drifted from testdata/golden_report.json;\ngot:\n%s", got)
+	}
+}
+
+// TestGoldenShape sanity-checks the golden workload still has the
+// structure the CI smoke step relies on: batch mode (phase1 + repair +
+// flush spans, no match spans) behind the gateway (admit/queue_wait/
+// release for every request).
+func TestGoldenShape(t *testing.T) {
+	a, paths := obs.Analyze(readGolden(t))
+	if a.Requests == 0 || len(paths) != a.Requests {
+		t.Fatalf("no requests analyzed: %+v", a)
+	}
+	for _, stage := range []string{"admit", "queue_wait", "release"} {
+		if st := a.Stages[stage]; st == nil || st.Spans != a.Requests {
+			t.Fatalf("stage %s: %+v, want one span per request (%d)", stage, a.Stages[stage], a.Requests)
+		}
+	}
+	if st := a.Stages["phase1"]; st == nil || st.Spans%a.Requests != 0 {
+		t.Fatalf("phase1 spans = %+v, want a whole number per request (shard fan-out)", a.Stages["phase1"])
+	}
+	if a.Stages["match"] != nil {
+		t.Fatal("golden is a batch-mode trace; it must not carry match spans")
+	}
+	if st := a.Stages["flush"]; st == nil || st.Spans == 0 || st.Requests != 0 {
+		t.Fatalf("flush spans = %+v, want fleet-level only", a.Stages["flush"])
+	}
+}
+
+func TestStructuralDiffSelfAndDrift(t *testing.T) {
+	tr := readGolden(t)
+	if drift := diffStructural(tr, tr); len(drift) != 0 {
+		t.Fatalf("self-diff reported drift: %v", drift)
+	}
+	// Drop every repair span: the shape check must name the stage.
+	mut := &obs.Trace{Events: tr.Events}
+	for _, sp := range tr.Spans {
+		if sp.Stage != "repair" {
+			mut.Spans = append(mut.Spans, sp)
+		}
+	}
+	drift := diffStructural(tr, mut)
+	if len(drift) == 0 {
+		t.Fatal("dropped repair spans went undetected")
+	}
+	found := false
+	for _, d := range drift {
+		if bytes.Contains([]byte(d), []byte("repair")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("drift does not name the repair stage: %v", drift)
+	}
+}
+
+func TestTimingDiffTolerance(t *testing.T) {
+	mk := func(queueNs int64) *obs.Trace {
+		return &obs.Trace{Spans: []obs.SpanRecord{
+			{ID: obs.SpanID(1, obs.StageQueueWait, 0), Req: 1, Stage: "queue_wait", StartNs: 0, EndNs: queueNs},
+			{ID: obs.SpanID(1, obs.StageMatch, 0), Req: 1, Stage: "match", StartNs: queueNs, EndNs: queueNs + 100},
+		}}
+	}
+	same, shifted := mk(100), mk(300)
+	if drift := diffTiming(same, same, 0); len(drift) != 0 {
+		t.Fatalf("identical traces drifted: %v", drift)
+	}
+	// 50/50 vs 75/25 split: 25pp apart, outside a 5pp tolerance...
+	if drift := diffTiming(same, shifted, 5); len(drift) == 0 {
+		t.Fatal("25pp share shift went undetected at tol=5")
+	}
+	// ...and inside a 30pp one.
+	if drift := diffTiming(same, shifted, 30); len(drift) != 0 {
+		t.Fatalf("25pp shift flagged at tol=30: %v", drift)
+	}
+}

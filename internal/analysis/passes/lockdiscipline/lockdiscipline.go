@@ -3,12 +3,15 @@
 //   - lock-by-value: a value whose type (transitively) contains a sync
 //     primitive must not be copied — by assignment, by-value parameter or
 //     receiver, or range value variable. Copies fork the lock state.
-//   - merge discipline: sim.Metrics and obs.Histogram aggregate only
-//     through their documented merge functions (Metrics.Merge,
-//     Histogram.Merge/CopyFrom). Value copies alias the histogram
-//     pointers inside, and field-by-field merges silently miss fields
-//     added later — both have bitten concurrent metric aggregation
-//     before, so they are banned outside the defining packages.
+//   - merge discipline: sim.Metrics, obs.Histogram, and the critical-path
+//     aggregates obs.Attribution / obs.StageStats aggregate only through
+//     their documented merge functions (Metrics.Merge,
+//     Histogram.Merge/CopyFrom, Attribution.Merge — StageStats rides
+//     inside an Attribution and has no standalone merge). Value copies
+//     alias the histogram pointers inside, and field-by-field merges
+//     silently miss fields added later — both have bitten concurrent
+//     metric aggregation before, so they are banned outside the defining
+//     packages.
 package lockdiscipline
 
 import (
@@ -21,8 +24,8 @@ import (
 
 var Analyzer = &vetkit.Analyzer{
 	Name: "lockdiscipline",
-	Doc: "no lock-containing values copied by value; sim.Metrics and " +
-		"obs.Histogram merge only via their documented merge functions",
+	Doc: "no lock-containing values copied by value; sim.Metrics, obs.Histogram, " +
+		"and obs.Attribution/StageStats merge only via their documented merge functions",
 	Run: run,
 }
 
@@ -31,6 +34,8 @@ var Analyzer = &vetkit.Analyzer{
 var mergeOnly = []struct{ pkg, name, via string }{
 	{"sim", "Metrics", "Metrics.Merge"},
 	{"obs", "Histogram", "Histogram.Merge or CopyFrom"},
+	{"obs", "Attribution", "Attribution.Merge"},
+	{"obs", "StageStats", "Attribution.Merge"},
 }
 
 type checker struct {

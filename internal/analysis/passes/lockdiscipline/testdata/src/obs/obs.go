@@ -14,3 +14,35 @@ func (h *Histogram) Merge(o *Histogram) {
 
 // CopyFrom replaces h's contents with o's.
 func (h *Histogram) CopyFrom(o *Histogram) { *h = *o }
+
+// Attribution mirrors the real critical-path aggregate: combine only via
+// Merge.
+type Attribution struct {
+	Requests int
+	QueueNs  int64
+	Stages   map[string]*StageStats
+}
+
+// StageStats is one stage's aggregate inside an Attribution; it has no
+// standalone merge — Attribution.Merge folds it.
+type StageStats struct {
+	Spans   int
+	TotalNs int64
+	Contrib *Histogram
+}
+
+// Merge is the documented aggregation path.
+func (a *Attribution) Merge(o *Attribution) {
+	a.Requests += o.Requests
+	a.QueueNs += o.QueueNs
+	for name, os := range o.Stages {
+		st := a.Stages[name]
+		if st == nil {
+			st = &StageStats{Contrib: &Histogram{}}
+			a.Stages[name] = st
+		}
+		st.Spans += os.Spans
+		st.TotalNs += os.TotalNs
+		st.Contrib.Merge(os.Contrib)
+	}
+}

@@ -95,6 +95,7 @@ func (e *Engine) Flush() {
 // and is therefore identical at every worker/shard count.
 func (e *Engine) flushAt(t float64) {
 	flushStart := time.Now() //vetkit:allow determinism flush latency metric only; assignment decisions depend solely on the virtual clock t
+	flushSpanStart := e.ring.SpanStart()
 	batch := e.pending
 	e.pending = nil
 	if t < e.clock {
@@ -176,6 +177,7 @@ func (e *Engine) flushAt(t float64) {
 			// merge with the surviving clean trials. A full re-fan-out
 			// would have re-run all `trialed` insertions for this request.
 			retrial := time.Now() //vetkit:allow determinism repair latency metric only; repair outcome depends on trials, not time
+			repairStart := e.ring.SpanStart()
 			needy = needy[:0]
 			for sid, ids := range dirtyIDs {
 				if len(ids) > 0 {
@@ -193,6 +195,12 @@ func (e *Engine) flushAt(t float64) {
 			}
 			repairNs := time.Since(retrial) //vetkit:allow determinism repair latency metric only
 			search += repairNs
+			e.ring.EmitSpan(obs.Span{
+				ID:     obs.SpanID(req.ID, obs.StageRepair, 0),
+				Parent: obs.RootSpanID(req.ID),
+				Req:    req.ID, Stage: obs.StageRepair, T: req.Time,
+				Arg: int64(dirtyCount), Start: repairStart,
+			})
 			e.metrics.RepairLatency.Record(repairNs.Nanoseconds())
 			e.metrics.ConflictsRepaired++
 			e.live.AddConflicts(1)
@@ -237,6 +245,14 @@ func (e *Engine) flushAt(t float64) {
 	// Recycle the window's request buffer for the next Enqueue run.
 	e.pending = batch[:0]
 	e.metrics.FlushLatency.Record(time.Since(flushStart).Nanoseconds()) //vetkit:allow determinism flush latency metric only
+	// Fleet-level flush span (Req < 0): the whole window's wall time, one
+	// per flush, keyed by the engine's flush counter.
+	e.ring.EmitSpan(obs.Span{
+		ID:  obs.SpanID(-1, obs.StageFlush, e.flushSeq),
+		Req: -1, Stage: obs.StageFlush, T: t,
+		Arg: int64(n), Start: flushSpanStart,
+	})
+	e.flushSeq++
 	e.live.AddFlushes(1)
 }
 

@@ -82,6 +82,7 @@ type Engine struct {
 	// Batch-window state (batch.go).
 	pending    []sim.Request
 	batchStart float64
+	flushSeq   int64 // flushes performed; the flush span's instance key
 
 	// Distinct oracle stacks behind the shards, deduplicated once at
 	// construction (the shard oracles never change), so Metrics() does not
@@ -337,13 +338,14 @@ type shardBest struct {
 // shard winner is its lowest-ID cheapest vehicle — the same rule the
 // sequential scan applies globally.
 func (s *shard) trial(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps, radius float64) shardBest {
+	spanStart := s.ring.SpanStart()
 	s.drainReportsUntil(cfg, req.Time)
 	s.cand = s.grid.Within(s.cand[:0], px, py, radius)
-	s.fault.BeforeFanout()
+	s.fault.BeforeFanout(req.ID, req.Time)
 	best := shardBest{veh: -1}
 	for _, id := range s.cand {
 		v := s.vehicle(int(id))
-		s.fault.BeforeTrial()
+		s.fault.BeforeTrial(req.ID, req.Time)
 		s.w.AdvanceTo(v, req.Time)
 		tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps)
 		if !ok {
@@ -357,6 +359,14 @@ func (s *shard) trial(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps,
 		}
 	}
 	s.ring.Emit(obs.KindTrialed, req.ID, req.Time, int64(len(s.cand)))
+	// Immediate-mode phase-1 span: one per shard, nested under the match
+	// span the engine emits around the whole fan-out.
+	s.ring.EmitSpan(obs.Span{
+		ID:     obs.SpanID(req.ID, obs.StagePhase1, int64(s.id)),
+		Parent: obs.SpanID(req.ID, obs.StageMatch, 0),
+		Req:    req.ID, Stage: obs.StagePhase1, T: req.Time,
+		Arg: int64(len(s.cand)), Start: spanStart,
+	})
 	return best
 }
 
@@ -381,20 +391,29 @@ type phase1 struct {
 // needs for incremental conflict repair (retained trials stay committable
 // until their vehicle mutates; see sim.Trial's retention semantics).
 func (s *shard) trialRetain(cfg *sim.Config, req sim.Request, px, py, waitMeters, eps, radius float64) phase1 {
+	spanStart := s.ring.SpanStart()
 	s.drainReportsUntil(cfg, req.Time)
 	s.cand = s.grid.Within(s.cand[:0], px, py, radius)
-	s.fault.BeforeFanout()
+	s.fault.BeforeFanout(req.ID, req.Time)
 	before := s.w.Metrics().TrialCalls
 	feas := s.feasBuf()
 	for _, id := range s.cand {
 		v := s.vehicle(int(id))
-		s.fault.BeforeTrial()
+		s.fault.BeforeTrial(req.ID, req.Time)
 		s.w.AdvanceTo(v, req.Time)
 		if tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps); ok {
 			feas = append(feas, vehTrial{veh: int(id), trial: tr})
 		}
 	}
 	s.ring.Emit(obs.KindTrialed, req.ID, req.Time, int64(len(s.cand)))
+	// Batch-mode phase-1 span: no per-request match span exists in batch
+	// mode, so the shard span parents straight to the request root.
+	s.ring.EmitSpan(obs.Span{
+		ID:     obs.SpanID(req.ID, obs.StagePhase1, int64(s.id)),
+		Parent: obs.RootSpanID(req.ID),
+		Req:    req.ID, Stage: obs.StagePhase1, T: req.Time,
+		Arg: int64(len(s.cand)), Start: spanStart,
+	})
 	return phase1{feas: feas, trialed: s.w.Metrics().TrialCalls - before}
 }
 
@@ -406,7 +425,7 @@ func (s *shard) retrial(cfg *sim.Config, req sim.Request, px, py, waitMeters, ep
 	best := shardBest{veh: -1}
 	for _, id := range ids {
 		v := s.vehicle(id)
-		s.fault.BeforeTrial()
+		s.fault.BeforeTrial(req.ID, req.Time)
 		s.w.AdvanceTo(v, req.Time)
 		tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps)
 		if !ok {
@@ -454,6 +473,7 @@ func reduce(bests []shardBest) shardBest {
 // commits on the owning shard. It reports whether the request was matched
 // and to which vehicle.
 func (e *Engine) Submit(req sim.Request) (matched bool, vehID int) {
+	matchStart := e.ring.SpanStart()
 	if req.Time < e.clock {
 		req.Time = e.clock // tolerate slightly out-of-order input
 	}
@@ -488,12 +508,25 @@ func (e *Engine) Submit(req sim.Request) (matched bool, vehID int) {
 		e.metrics.Rejected++
 		e.live.AddRejected(1)
 		e.ring.Emit(obs.KindRejected, req.ID, req.Time, -1)
+		e.emitMatchSpan(req, matchStart, -1)
 		e.assigned[req.ID] = -1
 		return false, -1
 	}
 	e.ring.Emit(obs.KindMatched, req.ID, req.Time, int64(best.veh))
+	e.emitMatchSpan(req, matchStart, int64(best.veh))
 	e.assigned[req.ID] = best.veh
 	return true, best.veh
+}
+
+// emitMatchSpan closes the immediate-mode match span around one Submit:
+// fan-out, reduce, and commit. The per-shard phase1 spans nest under it.
+func (e *Engine) emitMatchSpan(req sim.Request, start int64, veh int64) {
+	e.ring.EmitSpan(obs.Span{
+		ID:     obs.SpanID(req.ID, obs.StageMatch, 0),
+		Parent: obs.RootSpanID(req.ID),
+		Req:    req.ID, Stage: obs.StageMatch, T: req.Time,
+		Arg: veh, Start: start,
+	})
 }
 
 // Assignment reports the vehicle a request was matched to (-1 if it was

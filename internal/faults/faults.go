@@ -34,6 +34,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrInjected is the transient error FlakyOracle returns for an
@@ -143,7 +145,8 @@ func (p Plan) Enabled() bool {
 //
 // All methods are nil-safe: a nil *Injector returns nil hooks.
 type Injector struct {
-	plan Plan
+	plan  Plan
+	trace *obs.Tracer // nil = injections are not spanned
 
 	mu        sync.Mutex
 	producers []*ProducerHook
@@ -161,6 +164,23 @@ func (in *Injector) Plan() Plan {
 		return Plan{}
 	}
 	return in.plan
+}
+
+// SetTrace attaches a tracer so latency injections (worker stalls, slow
+// trials, oracle spikes) are recorded as overlay spans — how much
+// injected latency each request absorbed, attributable next to the
+// pipeline stages in the same trace. Error injections (FailDist) are
+// deliberately not spanned: they have no duration, and their effect
+// already surfaces as retry latency inside the stage that absorbed them.
+// Call before the first hook registration; hooks registered earlier stay
+// unspanned. Nil-safe on both sides.
+func (in *Injector) SetTrace(t *obs.Tracer) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.trace = t
+	in.mu.Unlock()
 }
 
 // Producer registers and returns the hook for the next producer, in
@@ -192,6 +212,7 @@ func (in *Injector) Worker() *WorkerHook {
 	h := &WorkerHook{
 		plan:  in.plan.Worker,
 		phase: phaseFor(in.plan.Seed, 0x776f726b, uint64(len(in.workers))),
+		ring:  in.trace.Ring(fmt.Sprintf("fault-worker-%d", len(in.workers))),
 	}
 	in.workers = append(in.workers, h)
 	return h
@@ -208,6 +229,7 @@ func (in *Injector) Oracle() *OracleHook {
 	h := &OracleHook{
 		plan:  in.plan.Oracle,
 		phase: phaseFor(in.plan.Seed, 0x6f72636c, uint64(len(in.oracles))),
+		ring:  in.trace.Ring(fmt.Sprintf("fault-oracle-%d", len(in.oracles))),
 	}
 	in.oracles = append(in.oracles, h)
 	return h
@@ -345,32 +367,55 @@ func (h *ProducerHook) BeforeSubmit(t float64) (float64, Action) {
 type WorkerHook struct {
 	plan  WorkerPlan
 	phase uint64
+	ring  *obs.Ring // injection overlay spans (nil = unspanned)
 
 	fanouts, trials uint64
 	stalls, slow    int
+	emitted         int64 // spans emitted; the per-hook span instance key
 }
 
-// BeforeFanout stalls the shard on its scheduled fan-outs. Nil-safe.
-func (h *WorkerHook) BeforeFanout() {
+// BeforeFanout stalls the shard on its scheduled fan-outs, identified by
+// the request whose fan-out is stalled. Nil-safe.
+func (h *WorkerHook) BeforeFanout(reqID int64, t float64) {
 	if h == nil {
 		return
 	}
 	h.fanouts++
 	if h.plan.StallEvery > 0 && (h.fanouts+h.phase)%uint64(h.plan.StallEvery) == 0 {
 		h.stalls++
+		start := h.ring.SpanStart()
 		time.Sleep(h.plan.Stall)
+		h.ring.EmitSpan(obs.Span{
+			// inst mixes the hook's phase so concurrent hooks hitting the
+			// same request never collide on an ID; fault spans are leaves,
+			// nothing parent-links to them.
+			ID:     obs.SpanID(reqID, obs.StageFaultStall, h.emitted^int64(h.phase)),
+			Parent: obs.RootSpanID(reqID),
+			Req:    reqID, Stage: obs.StageFaultStall, T: t,
+			Arg: h.plan.Stall.Nanoseconds(), Start: start,
+		})
+		h.emitted++
 	}
 }
 
-// BeforeTrial slows the shard's scheduled trial insertions. Nil-safe.
-func (h *WorkerHook) BeforeTrial() {
+// BeforeTrial slows the shard's scheduled trial insertions, identified
+// by the request whose trial is slowed. Nil-safe.
+func (h *WorkerHook) BeforeTrial(reqID int64, t float64) {
 	if h == nil {
 		return
 	}
 	h.trials++
 	if h.plan.SlowEvery > 0 && (h.trials+h.phase)%uint64(h.plan.SlowEvery) == 0 {
 		h.slow++
+		start := h.ring.SpanStart()
 		time.Sleep(h.plan.Slow)
+		h.ring.EmitSpan(obs.Span{
+			ID:     obs.SpanID(reqID, obs.StageFaultSlow, h.emitted^int64(h.phase)),
+			Parent: obs.RootSpanID(reqID),
+			Req:    reqID, Stage: obs.StageFaultSlow, T: t,
+			Arg: h.plan.Slow.Nanoseconds(), Start: start,
+		})
+		h.emitted++
 	}
 }
 
@@ -380,9 +425,11 @@ func (h *WorkerHook) BeforeTrial() {
 type OracleHook struct {
 	plan  OraclePlan
 	phase uint64
+	ring  *obs.Ring // injection overlay spans (nil = unspanned)
 
 	dists, lookups uint64
 	fails, spikes  int
+	emitted        int64 // spans emitted; the per-hook span instance key
 }
 
 // FailDist reports whether the next distance lookup should fail with
@@ -409,7 +456,16 @@ func (h *OracleHook) Spike() {
 	h.lookups++
 	if h.plan.SpikeEvery > 0 && (h.lookups+h.phase)%uint64(h.plan.SpikeEvery) == 0 {
 		h.spikes++
+		start := h.ring.SpanStart()
 		time.Sleep(h.plan.Spike)
+		// Fleet-level span (Req < 0): the oracle facade does not know
+		// which request's lookup it slowed.
+		h.ring.EmitSpan(obs.Span{
+			ID:  obs.SpanID(-1, obs.StageOracleSpike, h.emitted^int64(h.phase)),
+			Req: -1, Stage: obs.StageOracleSpike,
+			Arg: h.plan.Spike.Nanoseconds(), Start: start,
+		})
+		h.emitted++
 	}
 }
 

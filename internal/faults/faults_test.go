@@ -59,8 +59,8 @@ func TestNilSafety(t *testing.T) {
 	if tm, act := ph.BeforeSubmit(42.5); tm != 42.5 || act != ActionSubmit {
 		t.Fatalf("nil ProducerHook rewrote the submission: %v %v", tm, act)
 	}
-	wh.BeforeFanout() // must not panic
-	wh.BeforeTrial()
+	wh.BeforeFanout(1, 0) // must not panic
+	wh.BeforeTrial(1, 0)
 	if oh.FailDist() {
 		t.Fatal("nil OracleHook failed a lookup")
 	}
@@ -203,8 +203,8 @@ func TestWorkerSchedules(t *testing.T) {
 	}})
 	h := in.Worker()
 	for i := 0; i < 64; i++ {
-		h.BeforeFanout()
-		h.BeforeTrial()
+		h.BeforeFanout(int64(i), 0)
+		h.BeforeTrial(int64(i), 0)
 	}
 	if s := in.Stats(); s.Stalls != 8 || s.SlowTrials != 16 {
 		t.Fatalf("stalls=%d slow=%d, want 8/16", s.Stalls, s.SlowTrials)

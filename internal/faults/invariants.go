@@ -53,12 +53,15 @@ type Report struct {
 	Shed map[int64]int
 }
 
-// traceLine mirrors obs's JSONL event schema.
+// traceLine mirrors obs's JSONL schema. Span is set on span lines,
+// which carry interval attribution, not lifecycle claims — the checker
+// skips them (cmd/tracetool is their consumer).
 type traceLine struct {
 	WallNs int64   `json:"wall_ns"`
 	Src    string  `json:"src"`
 	Seq    uint64  `json:"seq"`
 	Event  string  `json:"event"`
+	Span   string  `json:"span"`
 	Req    int64   `json:"req"`
 	T      float64 `json:"t"`
 	Arg    int64   `json:"arg"`
@@ -128,6 +131,9 @@ func Check(r io.Reader, tot Totals) (Report, error) {
 		var ev traceLine
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
 			return rep, fmt.Errorf("faults: bad trace line %q: %w", line, err)
+		}
+		if ev.Span != "" {
+			continue
 		}
 		rep.Events++
 		st := states[ev.Req]

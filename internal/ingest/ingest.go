@@ -134,6 +134,13 @@ type Config struct {
 	// Live, when non-nil, receives atomically readable progress counters
 	// (admitted, shed, backlog) for mid-run observation.
 	Live *obs.Live
+	// SLO, when non-nil, receives one outcome per request the gateway
+	// settles against the wall-clock SLO: good for releases within
+	// WallSLO, bad for late releases, wall-SLO handoff sheds, and
+	// adaptive admission sheds. Simulated-time deadline sheds and
+	// overflow evictions are deliberately excluded — they are capacity
+	// policy, not latency-contract outcomes.
+	SLO *obs.SLOTracker
 }
 
 func (c Config) withDefaults() Config {
@@ -158,10 +165,11 @@ func (c Config) withDefaults() Config {
 // Lamport tick only breaks ties between duplicate (T, ID) pairs so the
 // order stays total on adversarial input.
 type stamped struct {
-	req  sim.Request
-	seq  uint64    // Lamport admission tick, unique per admitted request
-	wall time.Time // admission wall time, for the IngressWait metric
-	prod int32     // submitting producer's index, for fair eviction
+	req     sim.Request
+	seq     uint64    // Lamport admission tick, unique per admitted request
+	wall    time.Time // admission wall time, for the IngressWait metric
+	prod    int32     // submitting producer's index, for fair eviction
+	admitNs int64     // tracer-epoch admission offset, for the queue_wait span (0 = tracing off)
 }
 
 // before reports whether a precedes b in stamped order.
@@ -335,6 +343,7 @@ func (p *Producer) Submit(req sim.Request) bool {
 	if p.closed {
 		panic("ingest: Submit on a closed Producer")
 	}
+	admitStart := p.ring.SpanStart()
 	if !p.started {
 		p.started = true
 		p.last = math.Inf(-1)
@@ -371,13 +380,15 @@ func (p *Producer) Submit(req sim.Request) bool {
 				p.acc -= 1000
 				g.shedAdaptive.Add(1)
 				g.cfg.Live.AddShedAdaptive(1)
+				g.cfg.Live.AddSLOBad(1)
+				g.cfg.SLO.Observe(false)
 				p.ring.Emit(obs.KindShed, req.ID, req.Time, obs.ShedReasonAdaptive)
 				g.nudge()
 				return false
 			}
 		}
 	}
-	s := stamped{req: req, seq: g.seq.Add(1), wall: time.Now(), prod: p.id} //vetkit:allow determinism admission wall stamp: feeds the wall-clock SLO policy, which is wall-time by definition
+	s := stamped{req: req, seq: g.seq.Add(1), wall: time.Now(), prod: p.id, admitNs: p.ring.SpanStart()} //vetkit:allow determinism admission wall stamp: feeds the wall-clock SLO policy, which is wall-time by definition
 	p.ring.Emit(obs.KindAdmitted, req.ID, req.Time, int64(s.seq))
 	g.cfg.Live.AddAdmitted(1)
 	qi := dispatch.ShardIndex(req.ID, len(g.queues))
@@ -396,6 +407,11 @@ func (p *Producer) Submit(req sim.Request) bool {
 		p.ring.Emit(obs.KindShed, victim.req.ID, victim.req.Time, obs.ShedReasonOverflow)
 	}
 	p.ring.Emit(obs.KindQueued, req.ID, req.Time, int64(qi))
+	p.ring.EmitSpan(obs.Span{
+		ID: obs.SpanID(req.ID, obs.StageAdmit, 0), Parent: obs.RootSpanID(req.ID),
+		Req: req.ID, Stage: obs.StageAdmit, T: req.Time, Arg: int64(qi),
+		Start: admitStart,
+	})
 	g.nudge()
 	return true
 }
@@ -483,6 +499,7 @@ func (g *Gateway) Drain(sink func(sim.Request)) {
 				g.drainRing.Emit(obs.KindShed, s.req.ID, s.req.Time, obs.ShedReasonDeadlineRelease)
 				continue
 			}
+			relStart := g.drainRing.SpanStart()
 			wait := time.Since(s.wall) //vetkit:allow determinism wall-clock SLO wait: the Adaptive policy sheds on real elapsed time by design
 			if policy == Adaptive && wait > g.cfg.WallSLO {
 				// The request already blew the operator's latency SLO
@@ -492,6 +509,8 @@ func (g *Gateway) Drain(sink func(sim.Request)) {
 				// release is within-SLO by construction.
 				g.shedAdaptive.Add(1)
 				g.cfg.Live.AddShedAdaptive(1)
+				g.cfg.Live.AddSLOBad(1)
+				g.cfg.SLO.Observe(false)
 				g.drainRing.Emit(obs.KindShed, s.req.ID, s.req.Time, obs.ShedReasonWallSLO)
 				g.ctrl.observe(wait)
 				continue
@@ -502,7 +521,27 @@ func (g *Gateway) Drain(sink func(sim.Request)) {
 			g.admitted++
 			g.waitHist.Record(wait.Nanoseconds())
 			g.lagHist.Record(int64(lag * 1000)) // simulated seconds -> ms
+			if good := wait <= g.cfg.WallSLO; good {
+				g.cfg.Live.AddSLOGood(1)
+				g.cfg.SLO.Observe(true)
+			} else {
+				g.cfg.Live.AddSLOBad(1)
+				g.cfg.SLO.Observe(false)
+			}
 			g.drainRing.Emit(obs.KindReleased, s.req.ID, s.req.Time, wait.Nanoseconds())
+			g.drainRing.EmitSpan(obs.Span{
+				ID: obs.SpanID(s.req.ID, obs.StageQueueWait, 0), Parent: obs.RootSpanID(s.req.ID),
+				Req: s.req.ID, Stage: obs.StageQueueWait, T: s.req.Time, Arg: int64(s.seq),
+				Start: s.admitNs, End: relStart,
+			})
+			// Close the release span before the sink call: the engine's
+			// match span starts inside sink, and the analyzer partitions
+			// wall time, so release must not overlap it.
+			g.drainRing.EmitSpan(obs.Span{
+				ID: obs.SpanID(s.req.ID, obs.StageRelease, 0), Parent: obs.RootSpanID(s.req.ID),
+				Req: s.req.ID, Stage: obs.StageRelease, T: s.req.Time, Arg: wait.Nanoseconds(),
+				Start: relStart,
+			})
 			sink(s.req)
 		}
 		if g.ctrl != nil {
@@ -512,6 +551,9 @@ func (g *Gateway) Drain(sink func(sim.Request)) {
 			}
 		}
 		g.cfg.Live.SetBacklog(int64(g.heap.Len()))
+		if g.cfg.SLO != nil {
+			g.cfg.Live.SetBurnPM(g.cfg.SLO.BurnPerMille())
+		}
 		if math.IsInf(floor, 1) && g.heap.Len() == 0 && g.queuesEmpty() {
 			return
 		}
@@ -557,6 +599,14 @@ func (g *Gateway) MetricsInto(m *sim.Metrics) {
 	}
 	m.IngressWait.Merge(g.waitHist)
 	m.ReleaseLagMs.Merge(g.lagHist)
+	if g.cfg.SLO != nil {
+		snap := g.cfg.SLO.Snapshot()
+		m.SLOGood += int(snap.Good)
+		m.SLOBad += int(snap.Bad)
+		if snap.Objective > m.SLOObjective {
+			m.SLOObjective = snap.Objective
+		}
+	}
 }
 
 // ShedByProducer reports, per producer index, how many of that

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"sort"
+)
+
+// Critical-path analysis over drained span traces: decompose each
+// request's wall time into per-stage contributions and aggregate the
+// fleet-wide attribution. This is the answer to "which stage ate the
+// latency budget" — the flat lifecycle events say what happened to a
+// request, the span decomposition says where its wall time went.
+//
+// Decomposition rules, per request:
+//
+//   - admit, queue_wait, release, repair: the summed span durations
+//     (each occurs at most once per request in the current pipeline).
+//   - phase1: the *maximum* over the request's per-shard phase-1 spans —
+//     the shards run concurrently under a worker pool, so the critical
+//     path through the fan-out is the slowest shard, not the sum.
+//   - match: the match span's self time — its duration minus the phase1
+//     contribution nested inside it (immediate mode only; batch mode has
+//     no per-request match span and attributes phase1/repair directly).
+//   - other: the request's total wall (last span end - first span start)
+//     minus everything attributed above — scheduling gaps, batch-window
+//     residency, unspanned glue.
+//   - fault_* and oracle_spike spans are reported as their own stages
+//     but OVERLAP the stage they fired inside (a stall sleeps in the
+//     middle of a phase-1 trial loop), so they are excluded from the
+//     total/other arithmetic: they answer "how much injected latency did
+//     this request absorb", not "which pipeline stage was on the path".
+
+// Canonical stage-name order for deterministic reports. "other" is the
+// analyzer's synthetic residual stage.
+var StageOrder = []string{
+	"admit", "queue_wait", "release", "match", "phase1", "repair",
+	"flush", "fault_stall", "fault_slow_trial", "oracle_spike", "other",
+}
+
+// stageRank returns the stage's index in StageOrder (len(StageOrder) for
+// unknown stages, which sort last).
+func stageRank(stage string) int {
+	for i, s := range StageOrder {
+		if s == stage {
+			return i
+		}
+	}
+	return len(StageOrder)
+}
+
+// overlayStage reports whether the stage's spans overlap other stages
+// (injected-fault latency) rather than partitioning the request's wall.
+func overlayStage(stage string) bool {
+	switch stage {
+	case "fault_stall", "fault_slow_trial", "oracle_spike":
+		return true
+	}
+	return false
+}
+
+// queueStage reports whether the stage is ingress-side (time spent
+// getting to the matcher) as opposed to compute (time spent matching).
+func queueStage(stage string) bool {
+	switch stage {
+	case "admit", "queue_wait", "release":
+		return true
+	}
+	return false
+}
+
+// StageContrib is one stage's share of a request's critical path.
+type StageContrib struct {
+	Stage string `json:"stage"`
+	Ns    int64  `json:"ns"`
+}
+
+// RequestPath is one request's critical-path decomposition plus its raw
+// span tree (spans sorted by (StartNs, EndNs, ID)).
+type RequestPath struct {
+	Req      int64          `json:"req"`
+	StartNs  int64          `json:"start_ns"`
+	EndNs    int64          `json:"end_ns"`
+	TotalNs  int64          `json:"total_ns"`
+	Dominant string         `json:"dominant"`
+	Contribs []StageContrib `json:"contribs"`
+	Spans    []SpanRecord   `json:"-"`
+}
+
+// Contrib returns the request's contribution for one stage (0 when the
+// stage is absent).
+func (p *RequestPath) Contrib(stage string) int64 {
+	for _, c := range p.Contribs {
+		if c.Stage == stage {
+			return c.Ns
+		}
+	}
+	return 0
+}
+
+// StageStats is one stage's fleet-wide aggregate. Aggregate only through
+// Attribution.Merge — the histogram inside follows the same merge
+// discipline as the rest of the metrics stack.
+type StageStats struct {
+	Spans    int        // spans observed (including fleet-level Req < 0 spans)
+	Requests int        // requests the stage contributed to
+	Dominant int        // requests where this stage was the largest contributor
+	TotalNs  int64      // summed contribution over all requests
+	Contrib  *Histogram // per-request contribution, ns
+}
+
+// Attribution is the fleet-wide critical-path aggregate over a trace.
+// Build with NewAttribution/Analyze and combine only via Merge.
+type Attribution struct {
+	Requests  int   // requests with at least one span
+	QueueNs   int64 // summed admit + queue_wait + release contributions
+	ComputeNs int64 // summed match + phase1 + repair contributions
+	OtherNs   int64 // summed residual (unattributed) wall time
+	Total     *Histogram
+	Stages    map[string]*StageStats
+}
+
+// NewAttribution returns an empty aggregate.
+func NewAttribution() *Attribution {
+	return &Attribution{Total: NewHistogram(), Stages: map[string]*StageStats{}}
+}
+
+// stage returns (creating if needed) the named stage's aggregate.
+func (a *Attribution) stage(name string) *StageStats {
+	st := a.Stages[name]
+	if st == nil {
+		st = &StageStats{Contrib: NewHistogram()}
+		a.Stages[name] = st
+	}
+	return st
+}
+
+// StageNames returns the stages present, in StageOrder (unknown stages
+// last, alphabetical).
+func (a *Attribution) StageNames() []string {
+	names := make([]string, 0, len(a.Stages))
+	for n := range a.Stages {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ri, rj := stageRank(names[i]), stageRank(names[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Merge folds o into a: counters and totals add, histograms merge.
+// Merging per-slice attributions equals analyzing the concatenated
+// traces. A nil o is a no-op.
+func (a *Attribution) Merge(o *Attribution) {
+	if o == nil {
+		return
+	}
+	a.Requests += o.Requests
+	a.QueueNs += o.QueueNs
+	a.ComputeNs += o.ComputeNs
+	a.OtherNs += o.OtherNs
+	a.Total.Merge(o.Total)
+	for name, os := range o.Stages {
+		st := a.stage(name)
+		st.Spans += os.Spans
+		st.Requests += os.Requests
+		st.Dominant += os.Dominant
+		st.TotalNs += os.TotalNs
+		st.Contrib.Merge(os.Contrib)
+	}
+}
+
+// Analyze decomposes a drained trace: the fleet-wide attribution plus
+// each request's path, sorted by request ID. Fleet-level spans (Req < 0,
+// e.g. flush and oracle_spike) count toward their stage's span totals
+// but belong to no request path.
+func Analyze(tr *Trace) (*Attribution, []RequestPath) {
+	a := NewAttribution()
+	byReq := map[int64][]SpanRecord{}
+	for _, sp := range tr.Spans {
+		a.stage(sp.Stage).Spans++
+		if sp.Req >= 0 {
+			byReq[sp.Req] = append(byReq[sp.Req], sp)
+		}
+	}
+	reqs := make([]int64, 0, len(byReq))
+	for req := range byReq {
+		reqs = append(reqs, req)
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i] < reqs[j] })
+
+	paths := make([]RequestPath, 0, len(reqs))
+	for _, req := range reqs {
+		p := analyzeRequest(req, byReq[req])
+		a.Requests++
+		a.Total.Record(p.TotalNs)
+		attributed := int64(0)
+		for _, c := range p.Contribs {
+			st := a.stage(c.Stage)
+			st.Requests++
+			st.TotalNs += c.Ns
+			st.Contrib.Record(c.Ns)
+			if c.Stage == p.Dominant {
+				st.Dominant++
+			}
+			switch {
+			case overlayStage(c.Stage):
+				// excluded from the wall partition
+			case queueStage(c.Stage):
+				a.QueueNs += c.Ns
+				attributed += c.Ns
+			default:
+				a.ComputeNs += c.Ns
+				attributed += c.Ns
+			}
+		}
+		if rest := p.TotalNs - attributed; rest > 0 {
+			a.OtherNs += rest
+			st := a.stage("other")
+			st.Requests++
+			st.TotalNs += rest
+			st.Contrib.Record(rest)
+		}
+		paths = append(paths, p)
+	}
+	return a, paths
+}
+
+// analyzeRequest decomposes one request's spans per the package rules.
+func analyzeRequest(req int64, spans []SpanRecord) RequestPath {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.StartNs != b.StartNs {
+			return a.StartNs < b.StartNs
+		}
+		if a.EndNs != b.EndNs {
+			return a.EndNs < b.EndNs
+		}
+		return a.ID < b.ID
+	})
+	start, end := spans[0].StartNs, spans[0].EndNs
+	sums := map[string]int64{}
+	var phase1Max, matchDur int64
+	for _, sp := range spans {
+		if sp.StartNs < start {
+			start = sp.StartNs
+		}
+		if sp.EndNs > end {
+			end = sp.EndNs
+		}
+		d := sp.DurationNs()
+		if d < 0 {
+			d = 0
+		}
+		switch sp.Stage {
+		case "phase1":
+			if d > phase1Max {
+				phase1Max = d
+			}
+		case "match":
+			matchDur += d
+		default:
+			sums[sp.Stage] += d
+		}
+	}
+	if phase1Max > 0 {
+		sums["phase1"] = phase1Max
+	}
+	if matchDur > 0 {
+		// Self time: the phase-1 fan-out is nested inside the match span.
+		if self := matchDur - phase1Max; self > 0 {
+			sums["match"] = self
+		} else {
+			sums["match"] = 0
+		}
+	}
+
+	p := RequestPath{Req: req, StartNs: start, EndNs: end, TotalNs: end - start, Spans: spans}
+	names := make([]string, 0, len(sums))
+	for n := range sums {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ri, rj := stageRank(names[i]), stageRank(names[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		p.Contribs = append(p.Contribs, StageContrib{Stage: n, Ns: sums[n]})
+		if overlayStage(n) {
+			continue
+		}
+		if p.Dominant == "" || sums[n] > p.Contrib(p.Dominant) {
+			p.Dominant = n
+		}
+	}
+	return p
+}

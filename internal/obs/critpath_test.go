@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"testing"
+)
+
+// span is a test shorthand for a SpanRecord interval.
+func span(req int64, stage string, start, end int64) SpanRecord {
+	return SpanRecord{
+		ID: SpanID(req, StageMatch, start), Req: req, Stage: stage,
+		StartNs: start, EndNs: end,
+	}
+}
+
+// immediateModeTrace is request 1 as the immediate-mode pipeline emits
+// it: admit 10ns, queue_wait 90ns, release 10ns, a 10ns gap, then a
+// 100ns match with two nested phase-1 shard spans (30ns and 60ns) and a
+// 10ns injected stall overlapping them.
+func immediateModeTrace() *Trace {
+	return &Trace{Spans: []SpanRecord{
+		span(1, "admit", 0, 10),
+		span(1, "queue_wait", 10, 100),
+		span(1, "release", 100, 110),
+		span(1, "match", 120, 220),
+		span(1, "phase1", 125, 155),
+		span(1, "phase1", 125, 185),
+		span(1, "fault_stall", 130, 140),
+	}}
+}
+
+func TestAnalyzeImmediateModeDecomposition(t *testing.T) {
+	a, paths := Analyze(immediateModeTrace())
+	if len(paths) != 1 || a.Requests != 1 {
+		t.Fatalf("got %d paths, %d requests, want 1/1", len(paths), a.Requests)
+	}
+	p := paths[0]
+	if p.Req != 1 || p.StartNs != 0 || p.EndNs != 220 || p.TotalNs != 220 {
+		t.Fatalf("path envelope = %+v, want [0, 220]", p)
+	}
+	want := map[string]int64{
+		"admit": 10, "queue_wait": 90, "release": 10,
+		// phase1 is the MAX over concurrent shard spans, not the sum.
+		"phase1": 60,
+		// match is self time: 100ns span minus the nested phase1 max.
+		"match": 40,
+		// overlay stage, reported but outside the wall partition.
+		"fault_stall": 10,
+	}
+	for stage, ns := range want {
+		if got := p.Contrib(stage); got != ns {
+			t.Fatalf("contrib[%s] = %d, want %d (path %+v)", stage, got, ns, p.Contribs)
+		}
+	}
+	if p.Dominant != "queue_wait" {
+		t.Fatalf("dominant = %q, want queue_wait", p.Dominant)
+	}
+	// Wall partition: 210 attributed + 10 residual (the 110→120 gap);
+	// the 10ns stall overlays and must not inflate either side.
+	if a.QueueNs != 110 || a.ComputeNs != 100 || a.OtherNs != 10 {
+		t.Fatalf("split = queue %d / compute %d / other %d, want 110/100/10",
+			a.QueueNs, a.ComputeNs, a.OtherNs)
+	}
+	if got := a.Stages["other"].TotalNs; got != 10 {
+		t.Fatalf("other stage total = %d, want 10", got)
+	}
+	if a.Total.Count() != 1 || a.Total.Max() != 220 {
+		t.Fatalf("total histogram = %v", a.Total.Summary())
+	}
+}
+
+func TestAnalyzeBatchModeAndFleetSpans(t *testing.T) {
+	tr := &Trace{Spans: []SpanRecord{
+		span(2, "admit", 0, 5),
+		span(2, "queue_wait", 5, 10),
+		span(2, "release", 10, 12),
+		// Batch mode: phase1/repair parent to the root, no match span.
+		span(2, "phase1", 20, 50),
+		span(2, "repair", 50, 70),
+		// Fleet-level flush span: counted for its stage, no request path.
+		span(-1, "flush", 0, 100),
+	}}
+	a, paths := Analyze(tr)
+	if len(paths) != 1 || paths[0].Req != 2 {
+		t.Fatalf("fleet span leaked into request paths: %+v", paths)
+	}
+	if st := a.Stages["flush"]; st == nil || st.Spans != 1 || st.Requests != 0 {
+		t.Fatalf("flush stage = %+v, want 1 span / 0 requests", st)
+	}
+	p := paths[0]
+	if p.TotalNs != 70 || p.Dominant != "phase1" {
+		t.Fatalf("path = %+v, want total 70 dominant phase1", p)
+	}
+	if a.QueueNs != 12 || a.ComputeNs != 50 || a.OtherNs != 8 {
+		t.Fatalf("split = %d/%d/%d, want 12/50/8", a.QueueNs, a.ComputeNs, a.OtherNs)
+	}
+}
+
+func TestAnalyzeMatchSelfTimeClampsAtZero(t *testing.T) {
+	// A phase-1 span longer than its parent match span (possible when a
+	// shard span closes after the reducer committed) must not go negative.
+	tr := &Trace{Spans: []SpanRecord{
+		span(3, "match", 0, 10),
+		span(3, "phase1", 0, 30),
+	}}
+	_, paths := Analyze(tr)
+	p := paths[0]
+	if got := p.Contrib("match"); got != 0 {
+		t.Fatalf("match self time = %d, want clamp to 0", got)
+	}
+	if got := p.Contrib("phase1"); got != 30 {
+		t.Fatalf("phase1 = %d, want 30", got)
+	}
+	if p.Dominant != "phase1" {
+		t.Fatalf("dominant = %q, want phase1", p.Dominant)
+	}
+}
+
+func TestAnalyzeDominantTieBreaksByStageOrder(t *testing.T) {
+	tr := &Trace{Spans: []SpanRecord{
+		span(4, "admit", 0, 10),
+		span(4, "match", 10, 20),
+	}}
+	_, paths := Analyze(tr)
+	if got := paths[0].Dominant; got != "admit" {
+		t.Fatalf("dominant on tie = %q, want the first stage in StageOrder (admit)", got)
+	}
+}
+
+func TestAttributionMergeEqualsConcatenatedAnalysis(t *testing.T) {
+	trA := immediateModeTrace()
+	trB := &Trace{Spans: []SpanRecord{
+		span(2, "admit", 0, 5),
+		span(2, "queue_wait", 5, 10),
+		span(2, "release", 10, 12),
+		span(2, "phase1", 20, 50),
+		span(2, "repair", 50, 70),
+		span(-1, "flush", 0, 100),
+	}}
+	merged, _ := Analyze(trA)
+	b, _ := Analyze(trB)
+	merged.Merge(b)
+	merged.Merge(nil) // nil is a no-op
+
+	combined, _ := Analyze(&Trace{Spans: append(append([]SpanRecord{}, trA.Spans...), trB.Spans...)})
+	if merged.Requests != combined.Requests ||
+		merged.QueueNs != combined.QueueNs ||
+		merged.ComputeNs != combined.ComputeNs ||
+		merged.OtherNs != combined.OtherNs {
+		t.Fatalf("merged totals %+v != combined %+v", merged, combined)
+	}
+	if !merged.Total.Equal(combined.Total) {
+		t.Fatalf("merged total histogram diverged: %v vs %v",
+			merged.Total.Summary(), combined.Total.Summary())
+	}
+	if len(merged.Stages) != len(combined.Stages) {
+		t.Fatalf("stage sets differ: %v vs %v", merged.StageNames(), combined.StageNames())
+	}
+	for name, cs := range combined.Stages {
+		ms := merged.Stages[name]
+		if ms == nil {
+			t.Fatalf("merged lost stage %q", name)
+		}
+		if ms.Spans != cs.Spans || ms.Requests != cs.Requests ||
+			ms.Dominant != cs.Dominant || ms.TotalNs != cs.TotalNs {
+			t.Fatalf("stage %q: merged %+v != combined %+v", name, ms, cs)
+		}
+		if !ms.Contrib.Equal(cs.Contrib) {
+			t.Fatalf("stage %q contrib histogram diverged", name)
+		}
+	}
+}
+
+func TestStageNamesFollowCanonicalOrder(t *testing.T) {
+	a, _ := Analyze(immediateModeTrace())
+	names := a.StageNames()
+	for i := 1; i < len(names); i++ {
+		ri, rj := stageRank(names[i-1]), stageRank(names[i])
+		if ri > rj || (ri == rj && names[i-1] > names[i]) {
+			t.Fatalf("StageNames out of order: %v", names)
+		}
+	}
+	if stageRank("made_up_stage") != len(StageOrder) {
+		t.Fatal("unknown stages must rank last")
+	}
+}

@@ -18,6 +18,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -152,8 +153,14 @@ func (h *Histogram) Max() int64 {
 // sample. The result is the holding bucket's midpoint clamped to
 // [Min, Max], so Quantile(1) is the exact maximum and small values
 // (< 16) are exact.
+//
+// Edge cases are pinned behavior: a nil or empty histogram reports 0 for
+// every q; q <= 0 reports the exact minimum and q >= 1 the exact maximum
+// (out-of-range q clamps rather than erroring); NaN q reports 0; and a
+// distribution held in a single bucket reports the same value — that
+// bucket's clamped midpoint — for every in-range q.
 func (h *Histogram) Quantile(q float64) int64 {
-	if h == nil || h.count == 0 {
+	if h == nil || h.count == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if q <= 0 {
@@ -249,6 +256,31 @@ func (h *Histogram) TopMean(k uint64) float64 {
 		need -= take
 	}
 	return sum / float64(k)
+}
+
+// BucketCount is one non-empty histogram bucket: the inclusive value
+// range [Lo, Hi] and how many samples landed in it.
+type BucketCount struct {
+	Lo, Hi int64
+	Count  uint64
+}
+
+// Buckets returns the non-empty buckets in ascending value order —
+// the same layout the Prometheus exposition serializes — for consumers
+// that render the distribution itself (cmd/tracetool's histogram view).
+// Nil-safe: an empty slice.
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil || h.count == 0 {
+		return nil
+	}
+	var out []BucketCount
+	for i := 0; i < numBuckets; i++ {
+		if c := h.counts[i]; c != 0 {
+			lo, width := bucketBounds(i)
+			out = append(out, BucketCount{Lo: lo, Hi: lo + width - 1, Count: c})
+		}
+	}
+	return out
 }
 
 // Merge folds o into h: bucket counters add, extremes combine. Merging is

@@ -202,6 +202,55 @@ func TestBucketErrorBound(t *testing.T) {
 	}
 }
 
+// TestQuantileEdgeCases pins the documented edge behavior: nil/empty
+// report 0, out-of-range q clamps to the exact extremes, NaN reports 0,
+// and a single-bucket distribution is constant across in-range q.
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	empty := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if nilH.Quantile(q) != 0 || empty.Quantile(q) != 0 {
+			t.Fatalf("nil/empty Quantile(%v) != 0", q)
+		}
+	}
+
+	h := NewHistogram()
+	for _, v := range []int64{7, 100, 5000} {
+		h.Record(v)
+	}
+	if got := h.Quantile(0); got != 7 {
+		t.Fatalf("Quantile(0) = %d, want the exact minimum 7", got)
+	}
+	if got := h.Quantile(-3); got != 7 {
+		t.Fatalf("Quantile(-3) = %d, want clamp to the minimum", got)
+	}
+	if got := h.Quantile(1); got != 5000 {
+		t.Fatalf("Quantile(1) = %d, want the exact maximum 5000", got)
+	}
+	if got := h.Quantile(1.7); got != 5000 {
+		t.Fatalf("Quantile(1.7) = %d, want clamp to the maximum", got)
+	}
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("Quantile(NaN) = %d, want 0", got)
+	}
+
+	// All mass in one bucket: every in-range q reports the same value,
+	// the bucket's midpoint clamped to [Min, Max].
+	single := NewHistogram()
+	for i := 0; i < 10; i++ {
+		single.Record(1000)
+	}
+	want := single.Quantile(0.5)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		if got := single.Quantile(q); got != want {
+			t.Fatalf("single-bucket Quantile(%v) = %d, want constant %d", q, got, want)
+		}
+	}
+	if want < single.Min() || want > single.Max() {
+		t.Fatalf("single-bucket quantile %d outside [%d, %d]", want, single.Min(), single.Max())
+	}
+}
+
 func TestBucketIndexMonotonic(t *testing.T) {
 	prev := -1
 	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 100, 1 << 20, 1<<62 + 12345} {

@@ -33,6 +33,9 @@ type Live struct {
 	Conflicts    atomic.Int64 // batch conflicts repaired
 	Backlog      atomic.Int64 // requests currently resident in gateway queues
 	ShedLevel    atomic.Int64 // current adaptive shed probability, per mille
+	SLOGood      atomic.Int64 // released within the wall-clock SLO
+	SLOBad       atomic.Int64 // released late, or shed against the SLO budget
+	BurnPM       atomic.Int64 // current SLO burn rate, per mille (1000 = on budget)
 }
 
 // AddRequests increments the submitted-requests counter (nil-safe).
@@ -120,6 +123,27 @@ func (l *Live) SetBacklog(n int64) {
 	}
 }
 
+// AddSLOGood increments the within-SLO release counter (nil-safe).
+func (l *Live) AddSLOGood(n int64) {
+	if l != nil {
+		l.SLOGood.Add(n)
+	}
+}
+
+// AddSLOBad increments the SLO-budget-debit counter (nil-safe).
+func (l *Live) AddSLOBad(n int64) {
+	if l != nil {
+		l.SLOBad.Add(n)
+	}
+}
+
+// SetBurnPM records the current SLO burn rate in per mille (nil-safe).
+func (l *Live) SetBurnPM(pm int64) {
+	if l != nil {
+		l.BurnPM.Store(pm)
+	}
+}
+
 // LiveSnapshot is one consistent-enough read of the counters (each field
 // individually atomic).
 type LiveSnapshot struct {
@@ -135,6 +159,9 @@ type LiveSnapshot struct {
 	Conflicts    int64 `json:"conflicts"`
 	Backlog      int64 `json:"backlog"`
 	ShedLevel    int64 `json:"shed_level_pm"`
+	SLOGood      int64 `json:"slo_good"`
+	SLOBad       int64 `json:"slo_bad"`
+	BurnPM       int64 `json:"slo_burn_pm"`
 }
 
 // Snapshot reads every counter (nil-safe: all zeros).
@@ -155,6 +182,9 @@ func (l *Live) Snapshot() LiveSnapshot {
 		Conflicts:    l.Conflicts.Load(),
 		Backlog:      l.Backlog.Load(),
 		ShedLevel:    l.ShedLevel.Load(),
+		SLOGood:      l.SLOGood.Load(),
+		SLOBad:       l.SLOBad.Load(),
+		BurnPM:       l.BurnPM.Load(),
 	}
 }
 
@@ -171,6 +201,7 @@ type Reporter struct {
 	mu   sync.Mutex // serializes writes (ticker goroutine vs final Stop flush)
 	done chan struct{}
 	wg   sync.WaitGroup
+	stop sync.Once
 }
 
 // reportLine is the envelope around each interval snapshot.
@@ -223,15 +254,18 @@ func (r *Reporter) emit() {
 	r.w.Write(b)
 }
 
-// Stop halts the interval goroutine and writes one final snapshot line.
-// Nil-safe and idempotent-enough for single use.
+// Stop halts the interval goroutine and flushes exactly one final
+// snapshot line, so the last partial interval is never dropped. Nil-safe
+// and idempotent: extra calls return after the first has finished.
 func (r *Reporter) Stop() {
 	if r == nil {
 		return
 	}
-	close(r.done)
-	r.wg.Wait()
-	r.emit()
+	r.stop.Do(func() {
+		close(r.done)
+		r.wg.Wait()
+		r.emit()
+	})
 }
 
 // Server is the live observability HTTP endpoint: /metrics serves the
@@ -247,14 +281,39 @@ type Server struct {
 // ":0" picks a free port — read it back with Addr). The metrics callback
 // is invoked per /metrics request and must be safe for concurrent use —
 // hand it atomics (Live.Snapshot), not quiescent-only state.
-func Serve(addr string, metrics func() any) (*Server, error) {
+//
+// When a prom callback is supplied, the Prometheus text exposition of the
+// same metrics is served at /metrics/prom, and at /metrics itself when
+// the request asks for it (?format=prom, or an Accept header naming
+// text/plain before application/json). The callback writes the exposition
+// through a PromWriter per scrape and must likewise be concurrency-safe.
+func Serve(addr string, metrics func() any, prom ...func(*PromWriter)) (*Server, error) {
+	var promFn func(*PromWriter)
+	if len(prom) > 0 {
+		promFn = prom[0]
+	}
+	servProm := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", promContentType)
+		pw := NewPromWriter(w)
+		promFn(pw)
+		pw.Flush()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if promFn != nil && wantsProm(req) {
+			servProm(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(metrics())
 	})
+	if promFn != nil {
+		mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, req *http.Request) {
+			servProm(w)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -95,6 +95,30 @@ func TestReporterEmitsIntervalLines(t *testing.T) {
 	nilR.Stop() // must not panic
 }
 
+// TestReporterStopFlushesOnceIdempotent: Stop writes exactly one final
+// snapshot line — including when no interval ever elapsed — and repeated
+// Stops add nothing.
+func TestReporterStopFlushesOnceIdempotent(t *testing.T) {
+	l := &Live{}
+	l.AddRequests(3)
+	var buf syncBuffer
+	r := NewReporter(&buf, time.Hour, func() any { return l.Snapshot() })
+	r.Stop()
+	r.Stop()
+	r.Stop()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d report lines after 3 Stops, want exactly 1 final flush:\n%s",
+			len(lines), buf.String())
+	}
+	var rl struct {
+		Stats LiveSnapshot `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rl); err != nil || rl.Stats.Requests != 3 {
+		t.Fatalf("final line %q bad: %v", lines[0], err)
+	}
+}
+
 func TestServeMetricsAndPprof(t *testing.T) {
 	l := &Live{}
 	l.AddMatched(3)

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Causal spans: in addition to point-in-time lifecycle events, every ring
+// can record parent-linked intervals — the stages a request's wall time
+// was actually spent in. The span tree for one request follows the
+// pipeline:
+//
+//	request (synthetic root, never emitted)
+//	├── admit        producer-side admission (stamp, shed checks, enqueue)
+//	├── queue_wait   admission to drain pop — gateway residency
+//	├── release      drain-side handoff processing (deadline/SLO checks)
+//	├── match        immediate mode: fan-out + reduce + commit
+//	│   └── phase1   per-shard trial insertions (one span per shard)
+//	├── phase1       batch mode: per-shard phase-1 trials (parent = root)
+//	├── repair       batch mode: incremental conflict-repair retrial
+//	└── fault_*      injected stalls/slow trials (internal/faults)
+//
+// Span IDs are pure functions of (request, stage, instance) — SpanID —
+// so writers on different rings parent-link without sharing any state:
+// the drainer can parent a queue_wait span to the same root the engine
+// parents its match span to, with no coordination and no control-flow
+// change. Emission follows the same single-writer ring discipline as
+// events, a nil ring ignores everything, and Drain interleaves spans
+// with events in one (wall, src, seq) order — so traced runs stay
+// bit-identical to untraced ones.
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Req    int64
+	Stage  Stage
+	T      float64 // simulated seconds
+	Arg    int64   // stage-specific detail (candidates trialed, queue index, ...)
+	Start  int64   // ns since tracer epoch
+	End    int64   // ns since tracer epoch
+	Src    int32
+	Seq    uint64
+}
+
+// Stage identifies which pipeline stage a span's interval covers.
+type Stage uint8
+
+// Span stages. StageRequest is the synthetic per-request root — it is
+// never emitted; analyzers materialize it from RootSpanID parent links.
+const (
+	StageRequest Stage = iota
+	StageAdmit
+	StageQueueWait
+	StageRelease
+	StageMatch
+	StageFlush
+	StagePhase1
+	StageRepair
+	StageFaultStall
+	StageFaultSlow
+	StageOracleSpike
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageRequest:
+		return "request"
+	case StageAdmit:
+		return "admit"
+	case StageQueueWait:
+		return "queue_wait"
+	case StageRelease:
+		return "release"
+	case StageMatch:
+		return "match"
+	case StageFlush:
+		return "flush"
+	case StagePhase1:
+		return "phase1"
+	case StageRepair:
+		return "repair"
+	case StageFaultStall:
+		return "fault_stall"
+	case StageFaultSlow:
+		return "fault_slow_trial"
+	case StageOracleSpike:
+		return "oracle_spike"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// spanSalt is the splitmix64 increment, reused as a mixing constant so
+// distinct (req, stage, inst) triples land far apart before finalizing.
+const spanSalt = 0x9e3779b97f4a7c15
+
+// splitmix64 is the same finalizer the cache stripe hash and the fault
+// injector use.
+func splitmix64(x uint64) uint64 {
+	x += spanSalt
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SpanID derives the deterministic span ID for one (request, stage,
+// instance) occurrence — e.g. inst is the shard index for phase1 spans.
+// Any writer can therefore compute the ID of a span another ring emits
+// (or the parent link to it) without coordination. IDs are never 0: 0 is
+// the no-parent sentinel.
+func SpanID(req int64, stage Stage, inst int64) uint64 {
+	return splitmix64(uint64(req)*spanSalt^uint64(stage)<<56^uint64(inst)) | 1
+}
+
+// RootSpanID is the synthetic per-request root every top-level span
+// parents to.
+func RootSpanID(req int64) uint64 { return SpanID(req, StageRequest, 0) }
+
+// SpanStart captures the current wall offset (ns since the tracer epoch)
+// for a span about to be opened. 0 on a nil ring — tracing off — which
+// callers simply thread through to EmitSpan, itself a no-op then, so the
+// disabled path stays one nil check with no time syscall.
+func (r *Ring) SpanStart() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(time.Since(r.tr.epoch))
+}
+
+// EmitSpan records one span. The caller fills ID, Parent, Stage, Req, T,
+// Arg, and Start (from SpanStart); End defaults to now when zero, so
+// most call sites close the span at the emit instant and only spans
+// measured against an earlier captured offset (queue_wait) set it
+// explicitly. Src and Seq are stamped here. No-op on a nil ring.
+func (r *Ring) EmitSpan(sp Span) {
+	if r == nil {
+		return
+	}
+	if sp.End == 0 {
+		sp.End = int64(time.Since(r.tr.epoch))
+	}
+	sp.Src = r.id
+	sp.Seq = r.sseq
+	r.sbuf[r.sseq%uint64(len(r.sbuf))] = sp
+	r.sseq++
+}
+
+// jsonSpan is the JSONL serialization of a Span. WallNs is the span's
+// end, so a drained file stays globally sorted by one wall column across
+// events and spans.
+type jsonSpan struct {
+	WallNs  int64   `json:"wall_ns"`
+	Src     string  `json:"src"`
+	Seq     uint64  `json:"seq"`
+	Span    string  `json:"span"`
+	ID      uint64  `json:"id"`
+	Parent  uint64  `json:"parent"`
+	Req     int64   `json:"req"`
+	T       float64 `json:"t"`
+	Arg     int64   `json:"arg"`
+	StartNs int64   `json:"start_ns"`
+}
+
+// EventRecord is one parsed event line of a drained trace. Src is the
+// ring label (the numeric ring ID does not survive serialization).
+type EventRecord struct {
+	WallNs int64
+	Src    string
+	Seq    uint64
+	Event  string
+	Req    int64
+	T      float64
+	Arg    int64
+}
+
+// SpanRecord is one parsed span line of a drained trace.
+type SpanRecord struct {
+	ID      uint64
+	Parent  uint64
+	Req     int64
+	Stage   string
+	T       float64
+	Arg     int64
+	StartNs int64
+	EndNs   int64
+	Src     string
+	Seq     uint64
+}
+
+// DurationNs is the span's wall duration.
+func (s SpanRecord) DurationNs() int64 { return s.EndNs - s.StartNs }
+
+// Trace is a drained trace read back from JSONL: the inverse of
+// Tracer.Drain, and the input format of the critical-path analyzer and
+// cmd/tracetool. Slices preserve file order (the drain's global
+// (wall, src, seq) order).
+type Trace struct {
+	Events []EventRecord
+	Spans  []SpanRecord
+}
+
+// jsonLine is the superset of jsonEvent and jsonSpan used to classify
+// each line on read: exactly one of Event/Span is non-empty.
+type jsonLine struct {
+	WallNs  int64   `json:"wall_ns"`
+	Src     string  `json:"src"`
+	Seq     uint64  `json:"seq"`
+	Event   string  `json:"event"`
+	Span    string  `json:"span"`
+	ID      uint64  `json:"id"`
+	Parent  uint64  `json:"parent"`
+	Req     int64   `json:"req"`
+	T       float64 `json:"t"`
+	Arg     int64   `json:"arg"`
+	StartNs int64   `json:"start_ns"`
+}
+
+// ReadTrace parses a drained JSONL trace. Blank lines are skipped; a
+// line that is valid JSON but neither an event nor a span, or not JSON
+// at all, is an error naming the line number.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var jl jsonLine
+		if err := json.Unmarshal(line, &jl); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", lineno, err)
+		}
+		switch {
+		case jl.Span != "":
+			tr.Spans = append(tr.Spans, SpanRecord{
+				ID: jl.ID, Parent: jl.Parent, Req: jl.Req, Stage: jl.Span,
+				T: jl.T, Arg: jl.Arg, StartNs: jl.StartNs, EndNs: jl.WallNs,
+				Src: jl.Src, Seq: jl.Seq,
+			})
+		case jl.Event != "":
+			tr.Events = append(tr.Events, EventRecord{
+				WallNs: jl.WallNs, Src: jl.Src, Seq: jl.Seq, Event: jl.Event,
+				Req: jl.Req, T: jl.T, Arg: jl.Arg,
+			})
+		default:
+			return nil, fmt.Errorf("obs: trace line %d: neither event nor span", lineno)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: trace read: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilRingSpanNoOps(t *testing.T) {
+	var r *Ring
+	if got := r.SpanStart(); got != 0 {
+		t.Fatalf("nil SpanStart = %d, want 0", got)
+	}
+	r.EmitSpan(Span{ID: 1, Req: 1, Stage: StageMatch}) // must not panic
+}
+
+func TestSpanIDDeterministicNonzeroDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	add := func(name string, id uint64) {
+		if id == 0 {
+			t.Fatalf("%s: SpanID is 0 (the no-parent sentinel)", name)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("SpanID collision: %s == %s", name, prev)
+		}
+		seen[id] = name
+	}
+	for req := int64(-1); req < 30; req++ {
+		for _, st := range []Stage{StageRequest, StageAdmit, StageQueueWait, StageRelease, StageMatch, StageFlush, StagePhase1, StageRepair} {
+			for inst := int64(0); inst < 4; inst++ {
+				add(st.String(), SpanID(req, st, inst))
+			}
+		}
+	}
+	if SpanID(7, StagePhase1, 2) != SpanID(7, StagePhase1, 2) {
+		t.Fatal("SpanID is not deterministic")
+	}
+	if RootSpanID(7) != SpanID(7, StageRequest, 0) {
+		t.Fatal("RootSpanID disagrees with SpanID(req, StageRequest, 0)")
+	}
+}
+
+func TestEmitSpanDefaultsAndStamps(t *testing.T) {
+	tr := NewTracer(8)
+	r := tr.Ring("w")
+	start := r.SpanStart()
+	r.EmitSpan(Span{ID: SpanID(1, StageMatch, 0), Req: 1, Stage: StageMatch, Start: start})
+	r.EmitSpan(Span{ID: SpanID(2, StageMatch, 0), Req: 2, Stage: StageMatch, Start: start, End: start + 5})
+	sp0, sp1 := r.sbuf[0], r.sbuf[1]
+	if sp0.End < start {
+		t.Fatalf("End did not default to now: End=%d < Start=%d", sp0.End, start)
+	}
+	if sp1.End != start+5 {
+		t.Fatalf("explicit End was overwritten: %d", sp1.End)
+	}
+	if sp0.Src != r.id || sp1.Src != r.id {
+		t.Fatal("Src not stamped with the ring ID")
+	}
+	if sp0.Seq != 0 || sp1.Seq != 1 {
+		t.Fatalf("Seq not ring-local: %d, %d", sp0.Seq, sp1.Seq)
+	}
+}
+
+func TestDrainInterleavesEventsAndSpans(t *testing.T) {
+	tr := NewTracer(16)
+	r := tr.Ring("w")
+	r.Emit(KindAdmitted, 1, 0.5, 9)
+	start := r.SpanStart()
+	r.EmitSpan(Span{
+		ID: SpanID(1, StageAdmit, 0), Parent: RootSpanID(1),
+		Req: 1, Stage: StageAdmit, T: 0.5, Arg: 3, Start: start,
+	})
+	r.Emit(KindReleased, 1, 0.5, 11)
+
+	var buf bytes.Buffer
+	written, dropped, err := tr.Drain(&buf)
+	if err != nil || written != 3 || dropped != 0 {
+		t.Fatalf("Drain = (%d, %d, %v), want (3, 0, nil)", written, dropped, err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got.Events) != 2 || len(got.Spans) != 1 {
+		t.Fatalf("parsed %d events + %d spans, want 2 + 1", len(got.Events), len(got.Spans))
+	}
+	sp := got.Spans[0]
+	if sp.Stage != "admit" || sp.Req != 1 || sp.Arg != 3 || sp.Src != "w" {
+		t.Fatalf("span fields lost in round-trip: %+v", sp)
+	}
+	if sp.ID != SpanID(1, StageAdmit, 0) || sp.Parent != RootSpanID(1) {
+		t.Fatalf("span IDs lost in round-trip: %+v", sp)
+	}
+	if sp.StartNs != start || sp.EndNs < sp.StartNs {
+		t.Fatalf("span interval wrong: [%d, %d], start was %d", sp.StartNs, sp.EndNs, start)
+	}
+	// Global sort: the span's wall column is its End, which falls between
+	// the two events' emission instants.
+	var walls []int64
+	for _, e := range got.Events {
+		walls = append(walls, e.WallNs)
+	}
+	if !(walls[0] <= sp.EndNs && sp.EndNs <= walls[1]) {
+		t.Fatalf("span not interleaved by End: events at %v, span end %d", walls, sp.EndNs)
+	}
+}
+
+func TestSpanRingWrapCountsDropped(t *testing.T) {
+	tr := NewTracer(4)
+	r := tr.Ring("w")
+	for i := int64(0); i < 10; i++ {
+		r.EmitSpan(Span{ID: SpanID(i, StageMatch, 0), Req: i, Stage: StageMatch})
+	}
+	var buf bytes.Buffer
+	written, dropped, err := tr.Drain(&buf)
+	if err != nil || written != 4 || dropped != 6 {
+		t.Fatalf("Drain = (%d, %d, %v), want (4, 6, nil)", written, dropped, err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got.Spans) != 4 || got.Spans[0].Req != 6 {
+		t.Fatalf("retained wrong spans: %+v", got.Spans)
+	}
+}
+
+func TestReadTraceRejectsBadLines(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json\n")); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("malformed JSON: err = %v, want line-numbered error", err)
+	}
+	if _, err := ReadTrace(strings.NewReader("{}\n")); err == nil || !strings.Contains(err.Error(), "neither event nor span") {
+		t.Fatalf("classless line: err = %v", err)
+	}
+	tr, err := ReadTrace(strings.NewReader("\n\n"))
+	if err != nil || len(tr.Events)+len(tr.Spans) != 0 {
+		t.Fatalf("blank lines: (%+v, %v), want empty trace", tr, err)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := map[Stage]string{
+		StageRequest: "request", StageAdmit: "admit", StageQueueWait: "queue_wait",
+		StageRelease: "release", StageMatch: "match", StageFlush: "flush",
+		StagePhase1: "phase1", StageRepair: "repair", StageFaultStall: "fault_stall",
+		StageFaultSlow: "fault_slow_trial", StageOracleSpike: "oracle_spike",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Fatalf("Stage(%d).String() = %q, want %q", st, st.String(), s)
+		}
+	}
+	if got := Stage(250).String(); got != "Stage(250)" {
+		t.Fatalf("unknown stage = %q", got)
+	}
+}

@@ -121,7 +121,11 @@ func (t *Tracer) Ring(label string) *Ring {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	r := &Ring{tr: t, id: int32(len(t.rings)), buf: make([]Event, t.ringCap)}
+	r := &Ring{
+		tr: t, id: int32(len(t.rings)),
+		buf:  make([]Event, t.ringCap),
+		sbuf: make([]Span, t.ringCap),
+	}
 	t.rings = append(t.rings, r)
 	t.labels = append(t.labels, label)
 	return r
@@ -132,10 +136,12 @@ func (t *Tracer) Ring(label string) *Ring {
 // construction: one producer goroutine, one drainer, one goroutine per
 // shard per fan-out). A nil Ring ignores Emit — the tracing-off state.
 type Ring struct {
-	tr  *Tracer
-	id  int32
-	buf []Event
-	seq uint64 // total events emitted; buf[seq % len(buf)] is next
+	tr   *Tracer
+	id   int32
+	buf  []Event
+	seq  uint64 // total events emitted; buf[seq % len(buf)] is next
+	sbuf []Span
+	sseq uint64 // total spans emitted; sbuf[sseq % len(sbuf)] is next
 }
 
 // Emit records one event. No-op on a nil ring.
@@ -166,12 +172,39 @@ type jsonEvent struct {
 	Arg    int64   `json:"arg"`
 }
 
-// Drain serializes every retained event, sorted by (Wall, Src, Seq), as
-// one JSON object per line, and reports how many events were written and
-// how many had been overwritten in their rings before the drain (dropped).
-// Call it only while the writers are quiescent — after the run, or
-// between fan-outs from the driving goroutine. Nil-safe: a nil tracer
-// drains nothing.
+// drainRow is one serialized record (event or span) with its sort key.
+// Spans sort by their end offset; on a (wall, src) tie events come
+// before spans, so the record order is total and deterministic for a
+// given ring state.
+type drainRow struct {
+	wall   int64
+	src    int32
+	isSpan bool
+	seq    uint64
+	ev     Event
+	sp     Span
+}
+
+func rowLess(a, b drainRow) bool {
+	if a.wall != b.wall {
+		return a.wall < b.wall
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	if a.isSpan != b.isSpan {
+		return !a.isSpan
+	}
+	return a.seq < b.seq
+}
+
+// Drain serializes every retained event and span, sorted by (Wall, Src,
+// events-before-spans, Seq) — a span's wall column is its end offset —
+// as one JSON object per line, and reports how many records were written
+// and how many had been overwritten in their rings before the drain
+// (dropped). Call it only while the writers are quiescent — after the
+// run, or between fan-outs from the driving goroutine. Nil-safe: a nil
+// tracer drains nothing. ReadTrace parses the output back.
 func (t *Tracer) Drain(w io.Writer) (written, dropped int, err error) {
 	if t == nil {
 		return 0, 0, nil
@@ -181,42 +214,48 @@ func (t *Tracer) Drain(w io.Writer) (written, dropped int, err error) {
 	labels := append([]string(nil), t.labels...)
 	t.mu.Unlock()
 
-	var events []Event
+	var rows []drainRow
 	for _, r := range rings {
-		n := r.seq
-		retained := n
+		n, retained := r.seq, r.seq
 		if cap := uint64(len(r.buf)); retained > cap {
 			retained = cap
 		}
 		dropped += int(n - retained)
 		for i := n - retained; i < n; i++ {
-			events = append(events, r.buf[i%uint64(len(r.buf))])
+			e := r.buf[i%uint64(len(r.buf))]
+			rows = append(rows, drainRow{wall: e.Wall, src: e.Src, seq: e.Seq, ev: e})
+		}
+		n, retained = r.sseq, r.sseq
+		if cap := uint64(len(r.sbuf)); retained > cap {
+			retained = cap
+		}
+		dropped += int(n - retained)
+		for i := n - retained; i < n; i++ {
+			s := r.sbuf[i%uint64(len(r.sbuf))]
+			rows = append(rows, drainRow{wall: s.End, src: s.Src, isSpan: true, seq: s.Seq, sp: s})
 		}
 	}
-	sort.Slice(events, func(i, j int) bool {
-		a, b := events[i], events[j]
-		if a.Wall != b.Wall {
-			return a.Wall < b.Wall
-		}
-		if a.Src != b.Src {
-			return a.Src < b.Src
-		}
-		return a.Seq < b.Seq
-	})
+	sort.Slice(rows, func(i, j int) bool { return rowLess(rows[i], rows[j]) })
 
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, e := range events {
-		je := jsonEvent{
-			WallNs: e.Wall,
-			Src:    labels[e.Src],
-			Seq:    e.Seq,
-			Event:  e.Kind.String(),
-			Req:    e.Req,
-			T:      e.T,
-			Arg:    e.Arg,
+	for _, row := range rows {
+		var rec any
+		if row.isSpan {
+			s := row.sp
+			rec = jsonSpan{
+				WallNs: s.End, Src: labels[s.Src], Seq: s.Seq,
+				Span: s.Stage.String(), ID: s.ID, Parent: s.Parent,
+				Req: s.Req, T: s.T, Arg: s.Arg, StartNs: s.Start,
+			}
+		} else {
+			e := row.ev
+			rec = jsonEvent{
+				WallNs: e.Wall, Src: labels[e.Src], Seq: e.Seq,
+				Event: e.Kind.String(), Req: e.Req, T: e.T, Arg: e.Arg,
+			}
 		}
-		if err := enc.Encode(je); err != nil {
+		if err := enc.Encode(rec); err != nil {
 			return written, dropped, err
 		}
 		written++

@@ -109,6 +109,14 @@ type Metrics struct {
 	AdmissionShedPeakPM  int
 	AdmissionTransitions int
 
+	// SLO error-budget account (internal/obs SLOTracker, fed by the
+	// gateway): SLOGood counts requests released within the wall-clock
+	// SLO, SLOBad late releases plus SLO-motivated sheds. SLOObjective is
+	// the configured good-fraction target (0 when no tracker ran).
+	SLOGood      int
+	SLOBad       int
+	SLOObjective float64
+
 	// IngressWait is the distribution of wall time (ns) each admitted
 	// request spent in the gateway, admission to handoff.
 	IngressWait *obs.Histogram
@@ -256,6 +264,11 @@ func (m *Metrics) Merge(o *Metrics) {
 		m.AdmissionShedPeakPM = o.AdmissionShedPeakPM
 	}
 	m.AdmissionTransitions += o.AdmissionTransitions
+	m.SLOGood += o.SLOGood
+	m.SLOBad += o.SLOBad
+	if o.SLOObjective > m.SLOObjective {
+		m.SLOObjective = o.SLOObjective
+	}
 	if o.IngressQueuePeak > m.IngressQueuePeak {
 		m.IngressQueuePeak = o.IngressQueuePeak
 	}
@@ -272,6 +285,19 @@ func (m *Metrics) Merge(o *Metrics) {
 // Shed is the total number of requests the ingress gateway dropped, over
 // every shed reason.
 func (m *Metrics) Shed() int { return m.ShedOverflow + m.ShedDeadline + m.ShedAdaptive }
+
+// SLOBudgetConsumed returns the fraction of the run's SLO error budget
+// the bad outcomes spent: bad / (allowed-bad-fraction x total outcomes).
+// 1.0 means the budget is exactly exhausted, >1 the objective was missed.
+// 0 when no tracker ran or nothing was observed.
+func (m *Metrics) SLOBudgetConsumed() float64 {
+	total := m.SLOGood + m.SLOBad
+	allowed := 1 - m.SLOObjective
+	if total == 0 || allowed <= 0 {
+		return 0
+	}
+	return float64(m.SLOBad) / (float64(total) * allowed)
+}
 
 // AddIngressWait records one admitted request's gateway residence time
 // (admission to handoff).
@@ -416,6 +442,11 @@ type Snapshot struct {
 	IngressWaitP99Ns   int64 `json:"ingress_wait_p99_ns"`
 	IngressWaitSamples int   `json:"ingress_wait_samples"`
 
+	SLOGood           int     `json:"slo_good"`
+	SLOBad            int     `json:"slo_bad"`
+	SLOObjective      float64 `json:"slo_objective"`
+	SLOBudgetConsumed float64 `json:"slo_budget_consumed"`
+
 	AutoTuned     bool    `json:"auto_tuned"`
 	TunedShards   int     `json:"tuned_shards"`
 	TunedCellSize float64 `json:"tuned_cell_size_m"`
@@ -482,6 +513,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		IngressWaitMeanNs:  m.IngressWaitMean().Nanoseconds(),
 		IngressWaitP99Ns:   m.IngressWaitP99().Nanoseconds(),
 		IngressWaitSamples: int(m.IngressWait.Count()),
+
+		SLOGood:           m.SLOGood,
+		SLOBad:            m.SLOBad,
+		SLOObjective:      m.SLOObjective,
+		SLOBudgetConsumed: m.SLOBudgetConsumed(),
 
 		AutoTuned:     m.AutoTuned,
 		TunedShards:   m.TunedShards,

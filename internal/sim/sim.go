@@ -269,6 +269,7 @@ func (s *Simulator) drainReportsUntil(t float64) {
 // schedule"). It reports whether the request was matched and to which
 // vehicle.
 func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
+	matchStart := s.ring.SpanStart()
 	if req.Time < s.clock {
 		req.Time = s.clock // tolerate slightly out-of-order input
 	}
@@ -284,13 +285,13 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 	// ID, which fixes the tie-breaking order.
 	s.candidates = s.grid.Within(s.candidates[:0], px, py, s.w.CandidateRadius(waitMeters))
 
-	s.fault.BeforeFanout()
+	s.fault.BeforeFanout(req.ID, req.Time)
 	started := time.Now() //vetkit:allow determinism ACRT metric only; candidate selection depends on trials, not time
 	bestVeh := -1
 	var best Trial
 	for _, id := range s.candidates {
 		v := s.vehicles[int(id)]
-		s.fault.BeforeTrial()
+		s.fault.BeforeTrial(req.ID, req.Time)
 		s.w.AdvanceTo(v, req.Time)
 		tr, ok := s.w.Trial(v, req, px, py, waitMeters, eps)
 		if !ok {
@@ -311,6 +312,7 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 		s.metrics.Rejected++
 		s.live.AddRejected(1)
 		s.ring.Emit(obs.KindRejected, req.ID, req.Time, -1)
+		s.emitMatchSpan(req, matchStart, -1)
 		return false, -1
 	}
 	// Trial results are only valid against the vehicle state they were
@@ -318,7 +320,21 @@ func (s *Simulator) Submit(req Request) (matched bool, vehID int) {
 	// state is unchanged, so the trial is still fresh.
 	s.w.Commit(s.vehicles[bestVeh], best)
 	s.ring.Emit(obs.KindMatched, req.ID, req.Time, int64(bestVeh))
+	s.emitMatchSpan(req, matchStart, int64(bestVeh))
 	return true, bestVeh
+}
+
+// emitMatchSpan closes the sequential simulator's match span around one
+// Submit — the whole candidate scan, trial loop, and commit. There is no
+// fan-out here, so no phase1 spans nest under it: match self time is the
+// full span.
+func (s *Simulator) emitMatchSpan(req Request, start int64, veh int64) {
+	s.ring.EmitSpan(obs.Span{
+		ID:     obs.SpanID(req.ID, obs.StageMatch, 0),
+		Parent: obs.RootSpanID(req.ID),
+		Req:    req.ID, Stage: obs.StageMatch, T: req.Time,
+		Arg: veh, Start: start,
+	})
 }
 
 // Run replays all requests (which must be sorted by time) and then lets the
